@@ -1,0 +1,85 @@
+// Shared helpers for the experiment benches: run a scenario end to end on the
+// deterministic runtime and collect the metrics the paper's statistics module
+// reported (execution time, message counts, bytes on pipes, tuples moved).
+#ifndef P2PDB_BENCH_BENCH_COMMON_H_
+#define P2PDB_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/global_fixpoint.h"
+#include "src/core/session.h"
+#include "src/net/sim_runtime.h"
+#include "src/workload/scenario.h"
+
+namespace p2pdb::bench {
+
+struct RunMetrics {
+  double sim_ms = 0;        ///< Simulated network time to quiescence.
+  double wall_ms = 0;       ///< Host wall-clock time.
+  uint64_t messages = 0;    ///< Total protocol messages.
+  uint64_t bytes = 0;       ///< Total bytes on pipes.
+  uint64_t query_answers = 0;
+  uint64_t inserted = 0;    ///< Tuples materialized across all nodes.
+  uint64_t token_passes = 0;
+  bool all_closed = false;
+  size_t depth = 0;
+};
+
+/// Set P2PDB_BENCH_FULL=1 to run paper-scale record counts everywhere
+/// (cliques are cubic in data volume; the default trims them for CI).
+inline bool FullScale() {
+  const char* env = std::getenv("P2PDB_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+inline RunMetrics RunScenario(const workload::ScenarioOptions& options,
+                              core::Session::Options session_options = {},
+                              uint64_t sim_seed = 42) {
+  RunMetrics metrics;
+  auto edges = workload::GenerateTopology(options.topology);
+  if (edges.ok()) metrics.depth = workload::TopologyDepth(*edges);
+
+  auto system = workload::BuildScenario(options);
+  if (!system.ok()) {
+    std::fprintf(stderr, "scenario build failed: %s\n",
+                 system.status().ToString().c_str());
+    return metrics;
+  }
+  net::SimRuntime rt(net::SimRuntime::Options{.seed = sim_seed,
+                                              .max_events = 500'000'000});
+  core::Session session(*system, &rt, session_options);
+
+  auto start = std::chrono::steady_clock::now();
+  if (!session.RunDiscovery().ok()) return metrics;
+  rt.stats().Reset();  // Report the update phase, as the paper does.
+  uint64_t t0 = rt.NowMicros();
+  if (!session.RunUpdate().ok()) return metrics;
+  auto end = std::chrono::steady_clock::now();
+
+  metrics.sim_ms = static_cast<double>(rt.NowMicros() - t0) / 1000.0;
+  metrics.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  metrics.messages = rt.stats().total_messages();
+  metrics.bytes = rt.stats().total_bytes();
+  metrics.query_answers =
+      rt.stats().MessagesOfType(net::MessageType::kQueryAnswer);
+  metrics.all_closed = session.AllClosed();
+  for (size_t n = 0; n < session.peer_count(); ++n) {
+    metrics.inserted += session.peer(n).update().stats().tuples_inserted;
+    metrics.token_passes += session.peer(n).update().stats().token_passes;
+  }
+  return metrics;
+}
+
+inline void PrintHeader(const char* title) {
+  // Line-buffer stdout even when redirected, so long sweeps show progress.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace p2pdb::bench
+
+#endif  // P2PDB_BENCH_BENCH_COMMON_H_

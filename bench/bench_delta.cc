@@ -1,0 +1,54 @@
+// A1 — ablation: the delta optimization (Section 3 mentions it as an
+// optimization "to minimize data transfer and duplication"). With deltas a
+// re-answer carries only new tuples; without, the full result set travels on
+// every change. Cycles amplify the difference.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace p2pdb;        // NOLINT
+using namespace p2pdb::bench;  // NOLINT
+
+int main() {
+  const size_t records = FullScale() ? 400 : 120;
+  using Kind = workload::TopologySpec::Kind;
+
+  PrintHeader("A1 delta optimization: answer bytes with and without deltas");
+  std::printf("%-12s %5s %7s | %12s %10s | %12s %10s | %7s\n", "topology",
+              "nodes", "records", "delta-msgs", "delta-kB", "full-msgs",
+              "full-kB", "ratio");
+
+  for (Kind kind : {Kind::kTree, Kind::kRing, Kind::kLayeredDag}) {
+    workload::ScenarioOptions options;
+    options.topology.kind = kind;
+    options.topology.nodes = kind == Kind::kRing ? 6 : 15;
+    options.topology.layers = 4;
+    options.records_per_node = kind == Kind::kRing ? records / 2 : records;
+
+    core::Session::Options with_delta;
+    with_delta.peer.update.delta_answers = true;
+    RunMetrics delta = RunScenario(options, with_delta);
+
+    core::Session::Options without_delta;
+    without_delta.peer.update.delta_answers = false;
+    RunMetrics full = RunScenario(options, without_delta);
+
+    double ratio = delta.bytes > 0
+                       ? static_cast<double>(full.bytes) /
+                             static_cast<double>(delta.bytes)
+                       : 0.0;
+    std::printf("%-12s %5zu %7zu | %12llu %10llu | %12llu %10llu | %6.2fx\n",
+                workload::TopologyKindName(kind), options.topology.nodes,
+                options.records_per_node,
+                static_cast<unsigned long long>(delta.messages),
+                static_cast<unsigned long long>(delta.bytes / 1024),
+                static_cast<unsigned long long>(full.messages),
+                static_cast<unsigned long long>(full.bytes / 1024), ratio);
+  }
+  std::printf(
+      "\nshape: on trees each link fires once, so deltas help little; around\n"
+      "cycles every convergence round re-sends the whole (growing) result\n"
+      "without deltas, so the optimization's advantage grows with cyclicity\n"
+      "and data size — the effect the paper anticipates.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E5 — the paper's headline observation: "in the simple topological
+// structures (like the tree and the layered acyclic graphs) the execution
+// time is linear with respect to the depth of the structure."
+//
+// Sweeps depth at fixed shape (chains, binary trees, layered DAGs), reports
+// simulated execution time, and fits time = a*depth + b, printing the fit's
+// maximum relative residual as the linearity check.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace p2pdb;        // NOLINT
+using namespace p2pdb::bench;  // NOLINT
+
+namespace {
+
+struct Sample {
+  double depth;
+  double time_ms;
+};
+
+// Least-squares linear fit; returns max relative residual.
+double LinearFitResidual(const std::vector<Sample>& samples, double* a,
+                         double* b) {
+  double n = static_cast<double>(samples.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const Sample& s : samples) {
+    sx += s.depth;
+    sy += s.time_ms;
+    sxx += s.depth * s.depth;
+    sxy += s.depth * s.time_ms;
+  }
+  double denom = n * sxx - sx * sx;
+  *a = (n * sxy - sx * sy) / denom;
+  *b = (sy - *a * sx) / n;
+  double worst = 0;
+  for (const Sample& s : samples) {
+    double predicted = *a * s.depth + *b;
+    double rel = std::abs(predicted - s.time_ms) /
+                 (std::abs(s.time_ms) > 1e-9 ? std::abs(s.time_ms) : 1.0);
+    if (rel > worst) worst = rel;
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  const size_t records = FullScale() ? 500 : 100;
+  using Kind = workload::TopologySpec::Kind;
+
+  PrintHeader("E5 execution time vs depth (expected: linear)");
+
+  struct Series {
+    const char* name;
+    Kind kind;
+    std::vector<size_t> sizes;  // node counts (chain) or layer counts.
+  };
+  std::vector<Series> series = {
+      {"chain", Kind::kChain, {3, 5, 7, 9, 11, 13}},
+      {"binary-tree", Kind::kTree, {3, 7, 15, 31, 63}},
+      {"layered-dag", Kind::kLayeredDag, {4, 7, 10, 13, 16}},
+  };
+
+  for (const Series& s : series) {
+    std::printf("\n%s:\n%6s %6s %10s %12s\n", s.name, "nodes", "depth",
+                "sim-ms", "messages");
+    std::vector<Sample> samples;
+    for (size_t size : s.sizes) {
+      workload::ScenarioOptions options;
+      options.topology.kind = s.kind;
+      options.topology.nodes = size;
+      options.topology.fanout = 2;
+      // Layered DAG: ~3 nodes per layer; depth = layers - 1.
+      options.topology.layers = (size + 2) / 3;
+      options.records_per_node = records;
+      RunMetrics m = RunScenario(options);
+      std::printf("%6zu %6zu %10.2f %12llu\n", size, m.depth, m.sim_ms,
+                  static_cast<unsigned long long>(m.messages));
+      samples.push_back(Sample{static_cast<double>(m.depth), m.sim_ms});
+    }
+    double a = 0, b = 0;
+    double residual = LinearFitResidual(samples, &a, &b);
+    std::printf("  fit: time = %.2f * depth + %.2f ms; max relative residual "
+                "%.1f%% -> %s\n",
+                a, b, residual * 100,
+                residual < 0.25 ? "linear (matches paper)" : "NOT linear");
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// A3 — ablation: discovery strategies.
+//   * super-peer single origin + closure broadcast (our default reading of
+//     A1-A3),
+//   * one instance per node (what running Discover everywhere yields),
+//   * eager duplicate answers (the paper's gossip-style extra messages).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace p2pdb;        // NOLINT
+using namespace p2pdb::bench;  // NOLINT
+
+namespace {
+
+struct DiscoveryMetrics {
+  double sim_ms = 0;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+};
+
+DiscoveryMetrics RunDiscoveryOnly(const workload::ScenarioOptions& options,
+                                  core::Session::Options session_options) {
+  DiscoveryMetrics out;
+  auto system = workload::BuildScenario(options);
+  if (!system.ok()) return out;
+  net::SimRuntime rt;
+  core::Session session(*system, &rt, session_options);
+  if (!session.RunDiscovery().ok()) return out;
+  out.sim_ms = static_cast<double>(rt.NowMicros()) / 1000.0;
+  out.messages = rt.stats().total_messages();
+  out.bytes = rt.stats().total_bytes();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using Kind = workload::TopologySpec::Kind;
+  using Mode = core::Session::Options::DiscoveryMode;
+
+  PrintHeader("A3 discovery strategies: messages and bytes");
+  std::printf("%-12s %5s | %-22s %10s %12s %10s\n", "topology", "nodes",
+              "strategy", "sim-ms", "messages", "bytes");
+
+  for (Kind kind : {Kind::kTree, Kind::kClique, Kind::kRandom}) {
+    for (size_t nodes : {15u, 31u}) {
+      workload::ScenarioOptions options;
+      options.topology.kind = kind;
+      options.topology.nodes = nodes;
+      options.records_per_node = 1;  // Discovery ignores data.
+
+      struct Strategy {
+        const char* name;
+        Mode mode;
+        bool eager;
+      };
+      for (const Strategy& strategy :
+           {Strategy{"super-peer origin", Mode::kSuperPeer, false},
+            Strategy{"per-node origins", Mode::kAll, false},
+            Strategy{"per-node + eager", Mode::kAll, true}}) {
+        core::Session::Options session_options;
+        session_options.discovery = strategy.mode;
+        session_options.peer.eager_discovery_answers = strategy.eager;
+        DiscoveryMetrics m = RunDiscoveryOnly(options, session_options);
+        std::printf("%-12s %5zu | %-22s %10.1f %12llu %10llu\n",
+                    workload::TopologyKindName(kind), nodes, strategy.name,
+                    m.sim_ms, static_cast<unsigned long long>(m.messages),
+                    static_cast<unsigned long long>(m.bytes));
+      }
+    }
+  }
+  std::printf(
+      "\nshape: a single origin costs O(edges) messages plus a closure wave;\n"
+      "per-node origins multiply that by n (every node must learn its own\n"
+      "paths when the super-peer cannot reach it); eager answers add bytes,\n"
+      "never messages — the asynchronous surplus the paper describes.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// E4 — the Section 5 data-distribution experiment: two distributions, one
+// with no intersection between neighbours' initial data, one where linked
+// nodes' data intersects with probability 50%. Overlap shrinks the volume of
+// genuinely new data each answer carries (visible in bytes and inserts).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace p2pdb;        // NOLINT
+using namespace p2pdb::bench;  // NOLINT
+
+int main() {
+  const size_t records = FullScale() ? 1000 : 300;
+  PrintHeader("E4 data distributions: 0% vs 50% neighbour intersection");
+  std::printf("%-12s %5s %9s %10s %12s %10s %10s\n", "topology", "nodes",
+              "overlap", "sim-ms", "messages", "kbytes", "inserted");
+
+  using Kind = workload::TopologySpec::Kind;
+  for (Kind kind : {Kind::kTree, Kind::kLayeredDag}) {
+    for (double overlap : {0.0, 0.5}) {
+      workload::ScenarioOptions options;
+      options.topology.kind = kind;
+      options.topology.nodes = 15;
+      options.topology.layers = 4;
+      options.records_per_node = records;
+      options.link_overlap_prob = overlap;
+      RunMetrics m = RunScenario(options);
+      std::printf("%-12s %5d %8.0f%% %10.1f %12llu %10llu %10llu\n",
+                  workload::TopologyKindName(kind), 15, overlap * 100,
+                  m.sim_ms, static_cast<unsigned long long>(m.messages),
+                  static_cast<unsigned long long>(m.bytes / 1024),
+                  static_cast<unsigned long long>(m.inserted));
+    }
+  }
+  std::printf(
+      "\npaper comparison: with 50%% intersection, part of each answer is\n"
+      "already present at the head node, so fewer tuples materialize per\n"
+      "message and the data volume per link drops; the time shape (driven by\n"
+      "depth) is unchanged. The paper reports the same qualitative effect.\n");
+  return 0;
+}

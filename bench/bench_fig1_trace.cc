@@ -1,0 +1,77 @@
+// E2 — regenerates Figure 1: a sample execution of the discovery and update
+// algorithm over the running example, printed as a message sequence timeline
+// (requestNodes/processAnswer during discovery; Query/Answer during update).
+#include <cstdio>
+
+#include "src/core/session.h"
+#include "src/net/sim_runtime.h"
+#include "src/workload/scenario.h"
+
+using namespace p2pdb;  // NOLINT
+
+namespace {
+
+const char* PaperName(net::MessageType type) {
+  // Figure 1 uses the paper's function names.
+  switch (type) {
+    case net::MessageType::kDiscoverRequest:
+      return "requestNodes";
+    case net::MessageType::kDiscoverAnswer:
+      return "processAnswer";
+    case net::MessageType::kDiscoverClosure:
+      return "closeTopology";
+    case net::MessageType::kUpdateStart:
+      return "globalUpdate";
+    case net::MessageType::kQueryRequest:
+      return "Query";
+    case net::MessageType::kQueryAnswer:
+      return "Answer";
+    default:
+      return net::MessageTypeName(type);
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto system = workload::MakeRunningExample();
+  if (!system.ok()) return 1;
+
+  net::SimRuntime rt;
+  int printed = 0;
+  const int kMaxLines = 120;
+  rt.set_tracer([&](uint64_t time_us, const net::Message& msg) {
+    if (msg.type == net::MessageType::kToken ||
+        msg.type == net::MessageType::kSccClosed) {
+      return;  // Fix-point machinery; Figure 1 shows only the data protocol.
+    }
+    if (printed < kMaxLines) {
+      std::printf("t=%8.3fms  :%s -> :%s  %-14s (%zu bytes)\n",
+                  static_cast<double>(time_us) / 1000.0,
+                  system->node(msg.from).name.c_str(),
+                  system->node(msg.to).name.c_str(), PaperName(msg.type),
+                  msg.payload.size());
+    } else if (printed == kMaxLines) {
+      std::printf("... (further messages elided)\n");
+    }
+    ++printed;
+  });
+
+  core::Session session(*system, &rt);
+  std::printf("--- phase 1: topology discovery (super-peer :A) ---\n");
+  core::Session::Options opts;  // Default constructed for reference only.
+  (void)opts;
+  if (!session.RunDiscovery().ok()) return 1;
+  std::printf("\n--- phase 2: database update (super-peer :A) ---\n");
+  if (!session.RunUpdate().ok()) return 1;
+
+  std::printf("\nall nodes closed: %s\n",
+              session.AllClosed() ? "yes" : "NO");
+  std::printf("total messages traced: %d (tokens/closures elided from the "
+              "timeline)\n",
+              printed);
+  std::printf("\nshape check vs Figure 1: requests cascade :A->:B->{:C,:E},\n"
+              "answers return toward the super-peer, and during the update\n"
+              "Query/Answer pairs iterate until the fix-point closes.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: conjunctive
+// query evaluation, chase application, wire codecs, and the discovery wave.
+#include <benchmark/benchmark.h>
+
+#include "src/core/session.h"
+#include "src/core/wire.h"
+#include "src/net/sim_runtime.h"
+#include "src/relational/chase.h"
+#include "src/relational/eval.h"
+#include "src/util/rng.h"
+#include "src/workload/scenario.h"
+
+namespace p2pdb {
+namespace {
+
+rel::Database MakeEdgeDb(int64_t n) {
+  rel::Database db;
+  (void)db.CreateRelation(rel::RelationSchema("edge", {"src", "dst"}));
+  Rng rng(4);
+  for (int64_t i = 0; i < n; ++i) {
+    (void)db.Insert("edge",
+                    rel::Tuple({rel::Value::Int(rng.NextInRange(0, n / 4)),
+                                rel::Value::Int(rng.NextInRange(0, n / 4))}));
+  }
+  return db;
+}
+
+void BM_EvalTwoHopJoin(benchmark::State& state) {
+  rel::Database db = MakeEdgeDb(state.range(0));
+  rel::ConjunctiveQuery q;
+  q.head_vars = {"X", "Z"};
+  rel::Atom a1, a2;
+  a1.relation = a2.relation = "edge";
+  a1.terms = {rel::Term::Var("X"), rel::Term::Var("Y")};
+  a2.terms = {rel::Term::Var("Y"), rel::Term::Var("Z")};
+  q.atoms = {a1, a2};
+  for (auto _ : state) {
+    auto result = rel::EvaluateQuery(db, q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EvalTwoHopJoin)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ChaseApply(benchmark::State& state) {
+  rel::Atom head;
+  head.relation = "derived";
+  head.terms = {rel::Term::Var("X"), rel::Term::Var("W")};  // W existential.
+  for (auto _ : state) {
+    state.PauseTiming();
+    rel::Database db;
+    (void)db.CreateRelation(rel::RelationSchema("derived", {"x", "w"}));
+    rel::NullFactory nulls(1);
+    rel::ChaseStats stats;
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      rel::Binding b{{"X", rel::Value::Int(i % (state.range(0) / 2))}};
+      benchmark::DoNotOptimize(
+          rel::ApplyRuleHead(&db, {head}, b, &nulls, rel::ChaseOptions{},
+                             &stats));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChaseApply)->Arg(256)->Arg(1024);
+
+void BM_WireTupleSetRoundTrip(benchmark::State& state) {
+  std::set<rel::Tuple> tuples;
+  Rng rng(9);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    tuples.insert(rel::Tuple({rel::Value::Int(i),
+                              rel::Value::Str("title-" + std::to_string(i)),
+                              rel::Value::Int(1990 + (i % 15))}));
+  }
+  for (auto _ : state) {
+    Writer w;
+    core::wire::EncodeTupleSet(tuples, &w);
+    Reader r(w.bytes());
+    auto back = core::wire::DecodeTupleSet(&r);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 24);
+}
+BENCHMARK(BM_WireTupleSetRoundTrip)->Arg(100)->Arg(1000);
+
+void BM_DiscoveryWave(benchmark::State& state) {
+  workload::ScenarioOptions options;
+  options.topology.kind = workload::TopologySpec::Kind::kClique;
+  options.topology.nodes = static_cast<size_t>(state.range(0));
+  options.records_per_node = 1;
+  auto system = workload::BuildScenario(options);
+  for (auto _ : state) {
+    net::SimRuntime rt;
+    core::Session session(*system, &rt);
+    benchmark::DoNotOptimize(session.RunDiscovery());
+  }
+}
+BENCHMARK(BM_DiscoveryWave)->Arg(8)->Arg(16)->Arg(31);
+
+void BM_GlobalUpdateTree(benchmark::State& state) {
+  workload::ScenarioOptions options;
+  options.topology.kind = workload::TopologySpec::Kind::kTree;
+  options.topology.nodes = static_cast<size_t>(state.range(0));
+  options.records_per_node = 50;
+  auto system = workload::BuildScenario(options);
+  for (auto _ : state) {
+    net::SimRuntime rt;
+    core::Session session(*system, &rt);
+    (void)session.RunDiscovery();
+    (void)session.RunUpdate();
+    benchmark::DoNotOptimize(session.AllClosed());
+  }
+}
+BENCHMARK(BM_GlobalUpdateTree)->Arg(7)->Arg(15)->Arg(31);
+
+}  // namespace
+}  // namespace p2pdb
+
+BENCHMARK_MAIN();

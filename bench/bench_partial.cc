@@ -1,0 +1,77 @@
+// A6 — query-dependent update vs global update: the paper distinguishes the
+// global update (materialize everything everywhere) from query-dependent
+// updates that pull only the relations one local query needs, bounded by the
+// SN path mechanism of algorithm A4.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/workload/dblp.h"
+
+using namespace p2pdb;        // NOLINT
+using namespace p2pdb::bench;  // NOLINT
+
+int main() {
+  const size_t records = FullScale() ? 650 : 200;
+  using Kind = workload::TopologySpec::Kind;
+
+  PrintHeader("A6 query-dependent vs global update");
+  std::printf("%-12s %5s | %-16s %10s %12s %10s %12s\n", "topology", "nodes",
+              "mode", "sim-ms", "messages", "kbytes", "root-tuples");
+
+  for (Kind kind : {Kind::kTree, Kind::kLayeredDag}) {
+    workload::ScenarioOptions options;
+    options.topology.kind = kind;
+    options.topology.nodes = 15;
+    options.topology.layers = 4;
+    options.records_per_node = records;
+
+    // Global update.
+    {
+      auto system = workload::BuildScenario(options);
+      if (!system.ok()) continue;
+      net::SimRuntime rt;
+      core::Session session(*system, &rt);
+      if (!session.RunDiscovery().ok()) continue;
+      rt.stats().Reset();
+      uint64_t t0 = rt.NowMicros();
+      if (!session.RunUpdate().ok()) continue;
+      std::printf("%-12s %5d | %-16s %10.1f %12llu %10llu %12zu\n",
+                  workload::TopologyKindName(kind), 15, "global",
+                  static_cast<double>(rt.NowMicros() - t0) / 1000.0,
+                  static_cast<unsigned long long>(rt.stats().total_messages()),
+                  static_cast<unsigned long long>(rt.stats().total_bytes() /
+                                                  1024),
+                  session.peer(0).db().TotalTuples());
+    }
+    // Query-dependent: the root only wants its article relation filled
+    // (needed by any local query over it); nothing else materializes.
+    {
+      auto system = workload::BuildScenario(options);
+      if (!system.ok()) continue;
+      net::SimRuntime rt;
+      core::Session session(*system, &rt);
+      if (!session.RunDiscovery().ok()) continue;
+      rt.stats().Reset();
+      uint64_t t0 = rt.NowMicros();
+      if (!session
+               .RunPartialUpdate(0, {workload::NodeRelationName(0, "art")})
+               .ok()) {
+        continue;
+      }
+      std::printf("%-12s %5d | %-16s %10.1f %12llu %10llu %12zu\n",
+                  workload::TopologyKindName(kind), 15, "query-dependent",
+                  static_cast<double>(rt.NowMicros() - t0) / 1000.0,
+                  static_cast<unsigned long long>(rt.stats().total_messages()),
+                  static_cast<unsigned long long>(rt.stats().total_bytes() /
+                                                  1024),
+                  session.peer(0).db().TotalTuples());
+    }
+  }
+  std::printf(
+      "\nshape: the query-dependent mode still pulls the root's transitive\n"
+      "sources (its answer needs them) but skips materialization at sibling\n"
+      "nodes, so intermediate nodes stay lean; with a single consumer the\n"
+      "message counts converge, which is why the paper materializes globally\n"
+      "when every node will eventually query.\n");
+  return 0;
+}

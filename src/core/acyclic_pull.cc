@@ -1,0 +1,94 @@
+#include "src/core/acyclic_pull.h"
+
+#include <algorithm>
+
+#include "src/core/dependency.h"
+#include "src/core/wire.h"
+#include "src/relational/eval.h"
+
+namespace p2pdb::core {
+
+namespace {
+constexpr uint32_t kAcyclicChaseNode = 0xfffffffdu;
+}  // namespace
+
+Result<AcyclicPullResult> RunAcyclicPull(
+    const P2PSystem& system, const rel::ChaseOptions& chase_options) {
+  DependencyGraph graph = DependencyGraph::FromRules(system.rules());
+  if (!graph.IsAcyclic()) {
+    return Status::InvalidArgument(
+        "acyclic pull requires an acyclic dependency graph");
+  }
+
+  AcyclicPullResult result;
+  result.node_dbs.reserve(system.node_count());
+  for (const NodeInfo& info : system.nodes()) {
+    result.node_dbs.push_back(info.db);
+  }
+  rel::NullFactory nulls(kAcyclicChaseNode);
+
+  // Topological order has every dependency edge (head -> body) pointing
+  // forward, so processing in reverse order finalizes body nodes first.
+  auto order = graph.TopologicalOrder();
+  if (!order.ok()) return order.status();
+  std::vector<NodeId> processing(*order);
+  std::reverse(processing.begin(), processing.end());
+  // Nodes absent from the graph (no rules touch them) need no processing.
+
+  for (NodeId node : processing) {
+    for (const CoordinationRule* rule : system.RulesWithHead(node)) {
+      // Pull each part from its (already final) source: one request + one
+      // answer per part; payload sizes measured with the real wire encoding.
+      rel::Database scratch;
+      rel::ConjunctiveQuery join;
+      bool parts_ok = true;
+      for (size_t p = 0; p < rule->body.size(); ++p) {
+        const CoordinationRule::BodyPart& part = rule->body[p];
+        rel::ConjunctiveQuery part_query = rule->PartQuery(p);
+        auto answer =
+            rel::EvaluateQuery(result.node_dbs[part.node], part_query);
+        if (!answer.ok()) return answer.status();
+
+        wire::QueryRequest req;
+        req.rule_id = rule->id;
+        req.part = static_cast<uint32_t>(p);
+        req.query = part_query;
+        wire::QueryAnswer ans;
+        ans.rule_id = rule->id;
+        ans.part = static_cast<uint32_t>(p);
+        ans.tuples = *answer;
+        result.messages += 2;
+        result.bytes += req.Encode().size() + ans.Encode().size() + 26;
+
+        std::vector<std::string> vars = rule->PartExportVars(p);
+        std::string scratch_name = "$" + rule->id + ":" + std::to_string(p);
+        if (!scratch.CreateRelation(rel::RelationSchema(scratch_name, vars))
+                 .ok()) {
+          parts_ok = false;
+          break;
+        }
+        rel::Relation* scratch_rel = *scratch.GetMutable(scratch_name);
+        for (const rel::Tuple& t : rule->domain_map.ApplyToSet(*answer)) {
+          (void)scratch_rel->Insert(t);
+        }
+        rel::Atom atom;
+        atom.relation = scratch_name;
+        for (const std::string& v : vars) {
+          atom.terms.push_back(rel::Term::Var(v));
+        }
+        join.atoms.push_back(std::move(atom));
+      }
+      if (!parts_ok) continue;
+      join.builtins = rule->cross_builtins;
+      auto bindings = rel::EvaluateBindings(scratch, join);
+      if (!bindings.ok()) return bindings.status();
+      rel::ChaseStats step;
+      P2PDB_RETURN_IF_ERROR(
+          rel::ApplyRuleHeadAll(&result.node_dbs[node], rule->head_atoms,
+                                *bindings, &nulls, chase_options, &step));
+    }
+  }
+  return result;
+}
+
+}  // namespace p2pdb::core

@@ -1,0 +1,105 @@
+#include "src/core/dynamics.h"
+
+#include "src/core/dependency.h"
+#include "src/core/global_fixpoint.h"
+#include "src/relational/null_iso.h"
+
+namespace p2pdb::core {
+
+AtomicChange AtomicChange::Add(uint64_t at_micros, CoordinationRule rule) {
+  AtomicChange c;
+  c.kind = Kind::kAddLink;
+  c.at_micros = at_micros;
+  c.rule = std::move(rule);
+  return c;
+}
+
+AtomicChange AtomicChange::Delete(uint64_t at_micros, NodeId head,
+                                  std::string rule_id) {
+  AtomicChange c;
+  c.kind = Kind::kDeleteLink;
+  c.at_micros = at_micros;
+  c.head = head;
+  c.rule_id = std::move(rule_id);
+  return c;
+}
+
+Result<P2PSystem> ApplyChanges(const P2PSystem& initial,
+                               const ChangeScript& changes, bool apply_adds,
+                               bool apply_deletes) {
+  P2PSystem out = initial;
+  for (const AtomicChange& change : changes) {
+    if (change.kind == AtomicChange::Kind::kAddLink) {
+      if (apply_adds) {
+        // Re-adding a rule whose deletion was skipped (envelope semantics
+        // ignore deletes on the sound bound) is a no-op, not an error.
+        Status st = out.AddRule(change.rule);
+        if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
+      }
+    } else {
+      if (apply_deletes) {
+        // Deleting a rule that an earlier (ignored) add introduced is a no-op.
+        (void)out.RemoveRule(change.rule_id);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Envelope> ComputeEnvelope(const P2PSystem& initial,
+                                 const ChangeScript& changes,
+                                 const rel::ChaseOptions& chase) {
+  Envelope envelope;
+  // Sound bound: all addLinks before the run, no deleteLink at all.
+  auto upper_system = ApplyChanges(initial, changes, /*apply_adds=*/true,
+                                   /*apply_deletes=*/false);
+  if (!upper_system.ok()) return upper_system.status();
+  auto upper = ComputeGlobalFixpoint(*upper_system, chase);
+  if (!upper.ok()) return upper.status();
+  envelope.upper = std::move(upper->node_dbs);
+
+  // Complete bound: all deleteLinks before the run, no addLink at all.
+  auto lower_system = ApplyChanges(initial, changes, /*apply_adds=*/false,
+                                   /*apply_deletes=*/true);
+  if (!lower_system.ok()) return lower_system.status();
+  auto lower = ComputeGlobalFixpoint(*lower_system, chase);
+  if (!lower.ok()) return lower.status();
+  envelope.lower = std::move(lower->node_dbs);
+  return envelope;
+}
+
+bool WithinEnvelope(const std::vector<rel::Database>& final_dbs,
+                    const Envelope& envelope) {
+  if (final_dbs.size() != envelope.upper.size() ||
+      final_dbs.size() != envelope.lower.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < final_dbs.size(); ++i) {
+    if (!rel::DatabaseHomomorphicallyContained(envelope.lower[i],
+                                               final_dbs[i])) {
+      return false;
+    }
+    if (!rel::DatabaseHomomorphicallyContained(final_dbs[i],
+                                               envelope.upper[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsSeparatedUnderChange(const P2PSystem& initial,
+                            const ChangeScript& changes,
+                            const std::set<NodeId>& a,
+                            const std::set<NodeId>& b) {
+  for (size_t prefix = 0; prefix <= changes.size(); ++prefix) {
+    ChangeScript head(changes.begin(), changes.begin() + prefix);
+    auto system = ApplyChanges(initial, head, /*apply_adds=*/true,
+                               /*apply_deletes=*/true);
+    if (!system.ok()) return false;
+    DependencyGraph graph = DependencyGraph::FromRules(system->rules());
+    if (!graph.IsSeparated(a, b)) return false;
+  }
+  return true;
+}
+
+}  // namespace p2pdb::core

@@ -1,0 +1,31 @@
+// Centralized baseline: the "global algorithm" of [Calvanese et al., 2003],
+// which assumes a central node holding every database and rule. Used (a) as
+// the reference implementation for soundness/completeness tests of the
+// distributed algorithm and (b) as a baseline in bench B1.
+#ifndef P2PDB_CORE_GLOBAL_FIXPOINT_H_
+#define P2PDB_CORE_GLOBAL_FIXPOINT_H_
+
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/relational/chase.h"
+
+namespace p2pdb::core {
+
+struct GlobalFixpointResult {
+  /// Final instance of every node (index = node id).
+  std::vector<rel::Database> node_dbs;
+  /// Number of naive-evaluation passes until no rule fired.
+  size_t iterations = 0;
+  rel::ChaseStats chase;
+};
+
+/// Runs naive rule evaluation over the union of all local databases until
+/// fix-point. Node signatures are disjoint, so the union database preserves
+/// per-node relations exactly.
+Result<GlobalFixpointResult> ComputeGlobalFixpoint(
+    const P2PSystem& system, const rel::ChaseOptions& chase_options);
+
+}  // namespace p2pdb::core
+
+#endif  // P2PDB_CORE_GLOBAL_FIXPOINT_H_

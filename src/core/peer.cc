@@ -1,0 +1,152 @@
+#include "src/core/peer.h"
+
+#include "src/core/dependency.h"
+#include "src/relational/eval.h"
+#include "src/util/logging.h"
+
+namespace p2pdb::core {
+
+Peer::Peer(NodeId id, std::string name, rel::Database db,
+           net::Runtime* runtime, Config config)
+    : id_(id),
+      name_(std::move(name)),
+      db_(std::move(db)),
+      nulls_(id),
+      runtime_(runtime),
+      config_(config) {
+  discovery_ = std::make_unique<DiscoveryEngine>(this);
+  update_ = std::make_unique<UpdateEngine>(this, config_.update);
+  runtime_->RegisterPeer(id_, this);
+}
+
+Peer::~Peer() = default;
+
+Status Peer::AddInitialRule(const CoordinationRule& rule) {
+  if (rule.head_node != id_) {
+    return Status::InvalidArgument("rule " + rule.id +
+                                   " is not headed at this node");
+  }
+  for (const CoordinationRule& r : rules_) {
+    if (r.id == rule.id) return Status::AlreadyExists("rule " + rule.id);
+  }
+  rules_.push_back(rule);
+  return Status::OK();
+}
+
+void Peer::StartDiscovery() { discovery_->Start(); }
+
+void Peer::StartUpdate(uint64_t session) { update_->StartSession(session); }
+
+void Peer::StartPartialUpdate(uint64_t session,
+                              const std::set<std::string>& relations) {
+  update_->StartPartial(session, relations);
+}
+
+Result<std::set<rel::Tuple>> Peer::LocalQuery(
+    const rel::ConjunctiveQuery& query) const {
+  return rel::EvaluateQuery(db_, query);
+}
+
+void Peer::AdoptTopology(const std::set<wire::Edge>& edges) {
+  DependencyGraph graph(edges);
+  DependencyGraph mine = graph.ReachableSubgraph(id_);
+  known_edges_.insert(mine.edges().begin(), mine.edges().end());
+}
+
+std::vector<std::vector<NodeId>> Peer::MaximalPaths() const {
+  return DependencyGraph(known_edges_).MaximalPathsFrom(id_);
+}
+
+std::set<NodeId> Peer::OwnScc() const {
+  return DependencyGraph(known_edges_).SccOf(id_);
+}
+
+std::set<NodeId> Peer::DependencyTargets() const {
+  std::set<NodeId> out;
+  for (const CoordinationRule& r : rules_) {
+    for (const CoordinationRule::BodyPart& p : r.body) out.insert(p.node);
+  }
+  return out;
+}
+
+void Peer::Send(NodeId to, net::MessageType type,
+                std::vector<uint8_t> payload) {
+  net::Message msg;
+  msg.type = type;
+  msg.from = id_;
+  msg.to = to;
+  msg.payload = std::move(payload);
+  runtime_->Send(std::move(msg));
+}
+
+void Peer::OnMessage(const net::Message& msg) {
+  switch (msg.type) {
+    case net::MessageType::kDiscoverRequest: {
+      auto payload = wire::DiscoverRequest::Decode(msg.payload);
+      if (payload.ok()) discovery_->OnRequest(msg.from, *payload);
+      break;
+    }
+    case net::MessageType::kDiscoverAnswer: {
+      auto payload = wire::DiscoverAnswer::Decode(msg.payload);
+      if (payload.ok()) discovery_->OnAnswer(msg.from, *payload);
+      break;
+    }
+    case net::MessageType::kDiscoverClosure: {
+      auto payload = wire::DiscoverClosure::Decode(msg.payload);
+      if (payload.ok()) discovery_->OnClosure(msg.from, *payload);
+      break;
+    }
+    case net::MessageType::kUpdateStart: {
+      auto payload = wire::UpdateStart::Decode(msg.payload);
+      if (payload.ok()) update_->OnUpdateStart(msg.from, *payload);
+      break;
+    }
+    case net::MessageType::kQueryRequest: {
+      auto payload = wire::QueryRequest::Decode(msg.payload);
+      if (payload.ok()) update_->OnQueryRequest(msg.from, *payload);
+      break;
+    }
+    case net::MessageType::kQueryAnswer: {
+      auto payload = wire::QueryAnswer::Decode(msg.payload);
+      if (payload.ok()) update_->OnQueryAnswer(msg.from, *payload);
+      break;
+    }
+    case net::MessageType::kUnsubscribe: {
+      auto payload = wire::Unsubscribe::Decode(msg.payload);
+      if (payload.ok()) update_->OnUnsubscribe(msg.from, *payload);
+      break;
+    }
+    case net::MessageType::kPartialUpdate: {
+      auto payload = wire::PartialUpdate::Decode(msg.payload);
+      if (payload.ok()) update_->OnPartialUpdate(msg.from, *payload);
+      break;
+    }
+    case net::MessageType::kToken: {
+      auto payload = wire::Token::Decode(msg.payload);
+      if (payload.ok()) update_->OnToken(msg.from, *payload);
+      break;
+    }
+    case net::MessageType::kSccClosed: {
+      auto payload = wire::SccClosed::Decode(msg.payload);
+      if (payload.ok()) update_->OnSccClosed(msg.from, *payload);
+      break;
+    }
+    case net::MessageType::kReopen: {
+      auto payload = wire::Reopen::Decode(msg.payload);
+      if (payload.ok()) update_->OnReopen(msg.from, *payload);
+      break;
+    }
+    case net::MessageType::kAddRule: {
+      auto payload = wire::AddRuleChange::Decode(msg.payload);
+      if (payload.ok()) update_->OnAddRule(msg.from, *payload);
+      break;
+    }
+    case net::MessageType::kDeleteRule: {
+      auto payload = wire::DeleteRuleChange::Decode(msg.payload);
+      if (payload.ok()) update_->OnDeleteRule(msg.from, *payload);
+      break;
+    }
+  }
+}
+
+}  // namespace p2pdb::core

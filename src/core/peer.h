@@ -1,0 +1,105 @@
+// Peer: one node's live protocol state — the Database Manager of the paper's
+// Figure 2 architecture, wired to a runtime (the JXTA layer substitute), a
+// local database (LDB) and the coordination rules it is the head of.
+#ifndef P2PDB_CORE_PEER_H_
+#define P2PDB_CORE_PEER_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/discovery.h"
+#include "src/core/system.h"
+#include "src/core/update.h"
+#include "src/core/wire.h"
+#include "src/net/runtime.h"
+#include "src/relational/database.h"
+
+namespace p2pdb::core {
+
+class Peer : public net::PeerHandler {
+ public:
+  struct Config {
+    UpdateOptions update;
+    /// Attach current partial edge knowledge to duplicate discovery answers
+    /// (the paper's eager gossip; costs bytes, changes nothing final).
+    bool eager_discovery_answers = false;
+  };
+
+  Peer(NodeId id, std::string name, rel::Database db, net::Runtime* runtime,
+       Config config);
+  Peer(NodeId id, std::string name, rel::Database db, net::Runtime* runtime)
+      : Peer(id, std::move(name), std::move(db), runtime, Config{}) {}
+  ~Peer() override;
+
+  Peer(const Peer&) = delete;
+  Peer& operator=(const Peer&) = delete;
+
+  /// Registers a coordination rule this node is the head of ("initially each
+  /// node knows all rules of which it is a target").
+  Status AddInitialRule(const CoordinationRule& rule);
+
+  /// Starts topology discovery with this node as origin (A1).
+  void StartDiscovery();
+
+  /// Starts a global update session from this node (the super-peer role).
+  void StartUpdate(uint64_t session);
+
+  /// Starts a query-dependent update pulling only the given local relations.
+  void StartPartialUpdate(uint64_t session,
+                          const std::set<std::string>& relations);
+
+  /// Evaluates a local query against the node's current database.
+  Result<std::set<rel::Tuple>> LocalQuery(
+      const rel::ConjunctiveQuery& query) const;
+
+  // net::PeerHandler: decode and dispatch.
+  void OnMessage(const net::Message& msg) override;
+
+  // --- Accessors ---
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  rel::Database& db() { return db_; }
+  const rel::Database& db() const { return db_; }
+  rel::NullFactory& nulls() { return nulls_; }
+  net::Runtime* runtime() { return runtime_; }
+  const Config& config() const { return config_; }
+  const std::vector<CoordinationRule>& rules() const { return rules_; }
+  std::vector<CoordinationRule>* mutable_rules() { return &rules_; }
+
+  DiscoveryEngine& discovery() { return *discovery_; }
+  UpdateEngine& update() { return *update_; }
+  const DiscoveryEngine& discovery() const { return *discovery_; }
+  const UpdateEngine& update() const { return *update_; }
+
+  // --- Topology knowledge (installed by the discovery closure wave) ---
+  const std::set<wire::Edge>& known_edges() const { return known_edges_; }
+  void AdoptTopology(const std::set<wire::Edge>& edges);
+  /// Maximal dependency paths from this node per its current knowledge.
+  std::vector<std::vector<NodeId>> MaximalPaths() const;
+  /// This node's strongly connected component per its current knowledge.
+  std::set<NodeId> OwnScc() const;
+
+  /// Distinct dependency targets (body nodes) over current rules.
+  std::set<NodeId> DependencyTargets() const;
+
+  /// Serializes and sends one protocol message.
+  void Send(NodeId to, net::MessageType type, std::vector<uint8_t> payload);
+
+ private:
+  NodeId id_;
+  std::string name_;
+  rel::Database db_;
+  rel::NullFactory nulls_;
+  net::Runtime* runtime_;
+  Config config_;
+  std::vector<CoordinationRule> rules_;
+  std::set<wire::Edge> known_edges_;
+  std::unique_ptr<DiscoveryEngine> discovery_;
+  std::unique_ptr<UpdateEngine> update_;
+};
+
+}  // namespace p2pdb::core
+
+#endif  // P2PDB_CORE_PEER_H_

@@ -1,0 +1,141 @@
+#include "src/core/session.h"
+
+#include "src/core/dependency.h"
+#include "src/util/string_util.h"
+
+namespace p2pdb::core {
+
+Session::Session(const P2PSystem& system, net::Runtime* runtime,
+                 Options options)
+    : runtime_(runtime), network_(runtime), options_(options) {
+  peers_.reserve(system.node_count());
+  for (const NodeInfo& info : system.nodes()) {
+    peers_.push_back(std::make_unique<Peer>(info.id, info.name, info.db,
+                                            runtime_, options_.peer));
+  }
+  for (const CoordinationRule& rule : system.rules()) {
+    // "Initially each node knows all rules of which it is a target."
+    (void)peers_[rule.head_node]->AddInitialRule(rule);
+    for (const CoordinationRule::BodyPart& p : rule.body) {
+      network_.AddRuleLink(rule.head_node, p.node);
+    }
+  }
+}
+
+Status Session::RunDiscovery() {
+  if (options_.discovery == Options::DiscoveryMode::kSuperPeer) {
+    peers_[options_.super_peer]->StartDiscovery();
+  } else {
+    for (auto& peer : peers_) peer->StartDiscovery();
+  }
+  return runtime_->Run();
+}
+
+Status Session::RunUpdate() {
+  return RunUpdateFrom({options_.super_peer});
+}
+
+Status Session::RunUpdateFrom(const std::vector<NodeId>& initiators) {
+  uint64_t session = next_session_++;
+  for (NodeId n : initiators) peers_[n]->StartUpdate(session);
+  return runtime_->Run();
+}
+
+Status Session::RunPartialUpdate(NodeId at,
+                                 const std::set<std::string>& relations) {
+  uint64_t session = next_session_++;
+  peers_[at]->StartPartialUpdate(session, relations);
+  return runtime_->Run();
+}
+
+void Session::ScheduleChange(const AtomicChange& change) {
+  net::Message msg;
+  if (change.kind == AtomicChange::Kind::kAddLink) {
+    wire::AddRuleChange payload{change.rule};
+    msg.type = net::MessageType::kAddRule;
+    msg.from = change.rule.head_node;
+    msg.to = change.rule.head_node;
+    msg.payload = payload.Encode();
+    for (const CoordinationRule::BodyPart& p : change.rule.body) {
+      network_.AddRuleLink(change.rule.head_node, p.node);
+    }
+  } else {
+    wire::DeleteRuleChange payload{change.rule_id};
+    msg.type = net::MessageType::kDeleteRule;
+    msg.from = change.head;
+    msg.to = change.head;
+    msg.payload = payload.Encode();
+  }
+  runtime_->ScheduleSend(change.at_micros, std::move(msg));
+}
+
+Status Session::Rediscover() {
+  for (auto& peer : peers_) peer->StartDiscovery();
+  P2PDB_RETURN_IF_ERROR(runtime_->Run());
+  for (auto& peer : peers_) peer->update().RefreshScc();
+  return runtime_->Run();
+}
+
+std::set<NodeId> Session::Participants() const {
+  std::set<wire::Edge> edges;
+  for (const auto& peer : peers_) {
+    for (const CoordinationRule& r : peer->rules()) {
+      for (const CoordinationRule::BodyPart& p : r.body) {
+        edges.insert({r.head_node, p.node});
+      }
+    }
+  }
+  DependencyGraph graph(edges);
+  std::set<NodeId> out = graph.ReachableFrom(options_.super_peer);
+  out.insert(options_.super_peer);
+  return out;
+}
+
+bool Session::AllClosed(std::set<NodeId>* open_nodes) const {
+  bool all = true;
+  for (NodeId n : Participants()) {
+    if (peers_[n]->update().state() != UpdateEngine::State::kClosed) {
+      all = false;
+      if (open_nodes != nullptr) open_nodes->insert(n);
+    }
+  }
+  return all;
+}
+
+std::vector<rel::Database> Session::SnapshotDatabases() const {
+  std::vector<rel::Database> out;
+  out.reserve(peers_.size());
+  for (const auto& peer : peers_) out.push_back(peer->db());
+  return out;
+}
+
+std::string Session::CollectStatistics() const {
+  std::string out = StrFormat(
+      "%-6s %-8s %-8s %10s %8s %8s %8s %8s\n", "node", "state_d", "state_u",
+      "tuples", "inserted", "joins", "answers", "reopens");
+  for (const auto& peer : peers_) {
+    const UpdateEngine::Stats& stats = peer->update().stats();
+    const char* state_d =
+        peer->discovery().state() == DiscoveryEngine::State::kClosed
+            ? "closed"
+            : (peer->discovery().state() == DiscoveryEngine::State::kDiscovery
+                   ? "disc"
+                   : "undef");
+    const char* state_u =
+        peer->update().state() == UpdateEngine::State::kClosed
+            ? "closed"
+            : (peer->update().state() == UpdateEngine::State::kOpen ? "open"
+                                                                    : "idle");
+    out += StrFormat(
+        "%-6s %-8s %-8s %10zu %8llu %8llu %8llu %8llu\n", peer->name().c_str(),
+        state_d, state_u, peer->db().TotalTuples(),
+        static_cast<unsigned long long>(stats.tuples_inserted),
+        static_cast<unsigned long long>(stats.joins_evaluated),
+        static_cast<unsigned long long>(stats.answers_sent),
+        static_cast<unsigned long long>(stats.reopens));
+  }
+  out += "network: " + runtime_->stats().Report();
+  return out;
+}
+
+}  // namespace p2pdb::core

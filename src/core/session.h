@@ -1,0 +1,96 @@
+// Session: drives a fleet of peers over a runtime — builds Peer objects from a
+// P2PSystem, runs the discovery phase, the global update, query-dependent
+// updates, and injects dynamic changes (the super-peer role of Section 5,
+// including its rule-broadcast and statistics duties).
+#ifndef P2PDB_CORE_SESSION_H_
+#define P2PDB_CORE_SESSION_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/dynamics.h"
+#include "src/core/peer.h"
+#include "src/core/system.h"
+#include "src/net/network.h"
+#include "src/net/runtime.h"
+
+namespace p2pdb::core {
+
+class Session {
+ public:
+  struct Options {
+    Peer::Config peer;
+    NodeId super_peer = 0;
+    /// kAll runs one discovery instance per node (every node certainly learns
+    /// its own paths); kSuperPeer runs only the super-peer's instance, which
+    /// covers exactly the nodes that will participate in its update.
+    enum class DiscoveryMode { kAll, kSuperPeer } discovery = DiscoveryMode::kAll;
+  };
+
+  /// Builds one peer per system node and registers the coordination rules at
+  /// their head nodes. The system's databases are copied into the peers.
+  Session(const P2PSystem& system, net::Runtime* runtime, Options options);
+  Session(const P2PSystem& system, net::Runtime* runtime)
+      : Session(system, runtime, Options{}) {}
+
+  /// Phase 1: topology discovery, run to quiescence.
+  Status RunDiscovery();
+
+  /// Phase 2: global update from the super-peer, run to quiescence.
+  /// Each call uses a fresh session id.
+  Status RunUpdate();
+
+  /// Like RunUpdate but starts the same session from several initiators at
+  /// once (disconnected sub-networks each need a local initiator).
+  Status RunUpdateFrom(const std::vector<NodeId>& initiators);
+
+  /// Query-dependent update: pull only `relations` toward node `at`, then run
+  /// to quiescence (termination by network quiescence, per Section 3's
+  /// query-dependent mode).
+  Status RunPartialUpdate(NodeId at, const std::set<std::string>& relations);
+
+  /// Schedules a dynamic change to be delivered at the given simulated time
+  /// (the head node receives the addRule/deleteRule notification).
+  void ScheduleChange(const AtomicChange& change);
+
+  /// Re-runs discovery so every peer refreshes its topology knowledge and SCC
+  /// membership after dynamic changes (needed when changes affect cycles).
+  Status Rediscover();
+
+  // --- Inspection ---
+  Peer& peer(NodeId id) { return *peers_[id]; }
+  const Peer& peer(NodeId id) const { return *peers_[id]; }
+  size_t peer_count() const { return peers_.size(); }
+
+  /// Nodes participating in the super-peer's update: the super-peer plus all
+  /// nodes reachable from it over dependency edges.
+  std::set<NodeId> Participants() const;
+
+  /// True when every participant's update state is closed; nodes still open
+  /// are reported in `open_nodes` when provided.
+  bool AllClosed(std::set<NodeId>* open_nodes = nullptr) const;
+
+  /// Deep copies every peer's current database (index = node id).
+  std::vector<rel::Database> SnapshotDatabases() const;
+
+  /// The super-peer's statistics collection (Section 5): per-peer update
+  /// counters plus network totals, as a printable table.
+  std::string CollectStatistics() const;
+
+  net::Runtime* runtime() { return runtime_; }
+  net::Network& network() { return network_; }
+  uint64_t last_session_id() const { return next_session_ - 1; }
+
+ private:
+  net::Runtime* runtime_;
+  net::Network network_;
+  Options options_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  uint64_t next_session_ = 1;
+};
+
+}  // namespace p2pdb::core
+
+#endif  // P2PDB_CORE_SESSION_H_

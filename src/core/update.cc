@@ -1,0 +1,506 @@
+#include "src/core/update.h"
+
+#include <algorithm>
+
+#include "src/core/dependency.h"
+#include "src/core/peer.h"
+#include "src/relational/eval.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace p2pdb::core {
+
+namespace {
+bool Contains(const std::vector<NodeId>& path, NodeId n) {
+  return std::find(path.begin(), path.end(), n) != path.end();
+}
+}  // namespace
+
+void UpdateEngine::StartSession(uint64_t session) {
+  JoinSession(session, /*flood=*/true);
+}
+
+void UpdateEngine::JoinSession(uint64_t session, bool flood) {
+  if (state_ != State::kIdle && session_ == session) return;
+  session_ = session;
+  partial_mode_ = false;
+  RefreshScc();
+  state_ = State::kOpen;
+
+  if (flood) {
+    wire::UpdateStart start{session};
+    for (NodeId t : peer_->DependencyTargets()) {
+      peer_->Send(t, net::MessageType::kUpdateStart, start.Encode());
+    }
+  }
+  for (const CoordinationRule& r : peer_->rules()) {
+    RuleRuntime* rr = EnsureRuleRuntime(r);
+    SubscribeParts(*rr);
+  }
+  if (scc_.size() > 1 && IsRingLeader() && !token_running_) LeaderStartPass();
+  if (peer_->rules().empty()) {
+    // A2: a node with no rules holds complete data from the start.
+    CloseSelf(/*notify_in_scc=*/true);
+  }
+}
+
+void UpdateEngine::RefreshScc() {
+  scc_ = peer_->OwnScc();
+  if (scc_.size() > 1 && IsRingLeader() && state_ != State::kIdle &&
+      !token_running_) {
+    LeaderStartPass();
+  }
+}
+
+UpdateEngine::RuleRuntime* UpdateEngine::EnsureRuleRuntime(
+    const CoordinationRule& rule) {
+  auto it = rule_runtimes_.find(rule.id);
+  if (it != rule_runtimes_.end()) return &it->second;
+  RuleRuntime rr;
+  rr.rule = rule;
+  rr.part_answers.resize(rule.body.size());
+  rr.part_closed.assign(rule.body.size(), false);
+  return &rule_runtimes_.emplace(rule.id, std::move(rr)).first->second;
+}
+
+void UpdateEngine::SubscribeParts(const RuleRuntime& rr) {
+  for (size_t p = 0; p < rr.rule.body.size(); ++p) {
+    NodeId target = rr.rule.body[p].node;
+    wire::QueryRequest req;
+    req.session = session_;
+    req.rule_id = rr.rule.id;
+    req.part = static_cast<uint32_t>(p);
+    req.query = rr.rule.PartQuery(p);
+    CountIntraSccSend(target);
+    peer_->Send(target, net::MessageType::kQueryRequest, req.Encode());
+  }
+}
+
+void UpdateEngine::OnUpdateStart(NodeId from, const wire::UpdateStart& msg) {
+  (void)from;
+  JoinSession(msg.session, /*flood=*/true);
+}
+
+void UpdateEngine::OnQueryRequest(NodeId from, const wire::QueryRequest& msg) {
+  CountIntraSccRecv(from);
+  // Replace any previous subscription for the same (subscriber, rule, part):
+  // re-subscription resets the delta baseline, so the subscriber receives the
+  // full current result again.
+  Subscription* sub = nullptr;
+  for (Subscription& s : subscriptions_) {
+    if (s.subscriber == from && s.rule_id == msg.rule_id &&
+        s.part == msg.part) {
+      sub = &s;
+      break;
+    }
+  }
+  if (sub == nullptr) {
+    subscriptions_.emplace_back();
+    sub = &subscriptions_.back();
+  }
+  sub->subscriber = from;
+  sub->rule_id = msg.rule_id;
+  sub->part = msg.part;
+  sub->query = msg.query;
+  sub->last_sent.clear();
+  sub->announced_closed = false;
+
+  auto result = rel::EvaluateQuery(peer_->db(), sub->query);
+  if (!result.ok()) {
+    P2PDB_LOG(kWarn) << "subscription query failed at node " << peer_->id()
+                     << ": " << result.status().ToString();
+    return;
+  }
+  wire::QueryAnswer ans;
+  ans.session = msg.session;
+  ans.rule_id = msg.rule_id;
+  ans.part = msg.part;
+  ans.is_delta = true;  // Initial answer: delta from the empty set.
+  ans.source_closed = state_ == State::kClosed;
+  ans.tuples = *result;
+  CountIntraSccSend(from);
+  ++stats_.answers_sent;
+  peer_->Send(from, net::MessageType::kQueryAnswer, ans.Encode());
+  sub->last_sent = std::move(*result);
+  sub->announced_closed = ans.source_closed;
+}
+
+void UpdateEngine::OnQueryAnswer(NodeId from, const wire::QueryAnswer& msg) {
+  CountIntraSccRecv(from);
+  auto it = rule_runtimes_.find(msg.rule_id);
+  if (it == rule_runtimes_.end()) return;  // Rule deleted meanwhile.
+  RuleRuntime& rr = it->second;
+  if (msg.part >= rr.part_answers.size()) return;
+
+  // Monotone union: with deltas only new tuples travel; with full answers the
+  // union is the same set. The rule's domain relation (if any) translates
+  // foreign constants into this node's vocabulary first. Only genuinely new
+  // tuples feed the semi-naive join below.
+  std::set<rel::Tuple> delta;
+  std::set<rel::Tuple> mapped_storage;
+  const std::set<rel::Tuple>* source = &msg.tuples;
+  if (!rr.rule.domain_map.empty()) {
+    mapped_storage = rr.rule.domain_map.ApplyToSet(msg.tuples);
+    source = &mapped_storage;
+  }
+  for (const rel::Tuple& t : *source) {
+    if (rr.part_answers[msg.part].insert(t).second) delta.insert(t);
+  }
+  bool part_was_closed = rr.part_closed[msg.part];
+  rr.part_closed[msg.part] = msg.source_closed;
+
+  bool changed = delta.empty() ? false : JoinAndApply(&rr, msg.part, delta);
+
+  // Dynamics: a source that re-opened, or new data after our closure,
+  // re-opens this node (Section 4).
+  if (state_ == State::kClosed &&
+      ((part_was_closed && !msg.source_closed) || changed)) {
+    ReopenSelf();
+  }
+  if (changed) NotifySubscribers();
+  MaybeCloseTrivial();
+}
+
+bool UpdateEngine::JoinAndApply(RuleRuntime* rr, uint32_t delta_part,
+                                const std::set<rel::Tuple>& delta) {
+  ++stats_.joins_evaluated;
+  const CoordinationRule& rule = rr->rule;
+
+  // Semi-naive join: the delta part contributes only its new tuples, every
+  // other part its full accumulated answers; one scratch relation per part,
+  // an atom over each, natural join on shared variable names, plus the rule's
+  // cross-part built-ins. The resulting bindings cover every exported
+  // variable, which includes all frontier variables of the head.
+  rel::Database scratch;
+  rel::ConjunctiveQuery join;
+  for (size_t p = 0; p < rule.body.size(); ++p) {
+    std::vector<std::string> vars = rule.PartExportVars(p);
+    std::string scratch_name = "$" + rule.id + ":" + std::to_string(p);
+    if (!scratch.CreateRelation(rel::RelationSchema(scratch_name, vars)).ok()) {
+      return false;
+    }
+    rel::Relation* scratch_rel = *scratch.GetMutable(scratch_name);
+    const std::set<rel::Tuple>& tuples =
+        p == delta_part ? delta : rr->part_answers[p];
+    for (const rel::Tuple& t : tuples) {
+      if (t.arity() != vars.size()) continue;  // Malformed answer; skip.
+      (void)scratch_rel->Insert(t);
+    }
+    rel::Atom atom;
+    atom.relation = scratch_name;
+    for (const std::string& v : vars) atom.terms.push_back(rel::Term::Var(v));
+    join.atoms.push_back(std::move(atom));
+  }
+  join.builtins = rule.cross_builtins;
+
+  auto bindings = rel::EvaluateBindings(scratch, join);
+  if (!bindings.ok()) {
+    P2PDB_LOG(kWarn) << "rule join failed for " << rule.id << ": "
+                     << bindings.status().ToString();
+    return false;
+  }
+  rel::ChaseStats chase_stats;
+  chase_stats.collect_inserted = &pending_delta_;
+  Status st = rel::ApplyRuleHeadAll(&peer_->db(), rule.head_atoms, *bindings,
+                                    &peer_->nulls(), options_.chase,
+                                    &chase_stats);
+  if (!st.ok()) {
+    P2PDB_LOG(kError) << "chase failed for rule " << rule.id << ": "
+                      << st.ToString();
+    return false;
+  }
+  stats_.tuples_inserted += chase_stats.inserted;
+  stats_.applications_skipped += chase_stats.skipped;
+  stats_.applications_truncated += chase_stats.truncated;
+  return chase_stats.inserted > 0;
+}
+
+void UpdateEngine::NotifySubscribers() {
+  bool closed = state_ == State::kClosed;
+  std::map<std::string, std::set<rel::Tuple>> db_delta =
+      std::move(pending_delta_);
+  pending_delta_.clear();
+  for (Subscription& sub : subscriptions_) {
+    bool flag_changed = closed != sub.announced_closed;
+    // Semi-naive: new answers of the subscription query are exactly those
+    // using at least one freshly inserted tuple in at least one atom.
+    std::set<rel::Tuple> new_results;
+    bool eval_ok = true;
+    for (size_t i = 0; i < sub.query.atoms.size() && eval_ok; ++i) {
+      auto it = db_delta.find(sub.query.atoms[i].relation);
+      if (it == db_delta.end()) continue;
+      auto partial =
+          rel::EvaluateQueryDelta(peer_->db(), sub.query, i, it->second);
+      if (!partial.ok()) {
+        P2PDB_LOG(kWarn) << "delta evaluation failed at node " << peer_->id()
+                         << ": " << partial.status().ToString();
+        eval_ok = false;
+        break;
+      }
+      new_results.insert(partial->begin(), partial->end());
+    }
+    if (!eval_ok) continue;
+    std::set<rel::Tuple> delta;
+    for (const rel::Tuple& t : new_results) {
+      if (!sub.last_sent.count(t)) delta.insert(t);
+    }
+    if (delta.empty() && !flag_changed) continue;
+    sub.last_sent.insert(delta.begin(), delta.end());
+    wire::QueryAnswer ans;
+    ans.session = session_;
+    ans.rule_id = sub.rule_id;
+    ans.part = sub.part;
+    ans.is_delta = options_.delta_answers;
+    ans.source_closed = closed;
+    // Full mode retransmits the whole accumulated result (the paper's
+    // baseline behaviour); delta mode ships only the new tuples.
+    ans.tuples = options_.delta_answers ? delta : sub.last_sent;
+    CountIntraSccSend(sub.subscriber);
+    ++stats_.answers_sent;
+    peer_->Send(sub.subscriber, net::MessageType::kQueryAnswer, ans.Encode());
+    sub.announced_closed = closed;
+  }
+}
+
+bool UpdateEngine::ExternallyReady() const {
+  for (const auto& [id, rr] : rule_runtimes_) {
+    for (size_t p = 0; p < rr.rule.body.size(); ++p) {
+      NodeId source = rr.rule.body[p].node;
+      if (scc_.size() > 1 && scc_.count(source)) continue;  // Intra-SCC part.
+      if (!rr.part_closed[p]) return false;
+    }
+  }
+  return true;
+}
+
+void UpdateEngine::MaybeCloseTrivial() {
+  if (partial_mode_ || state_ != State::kOpen) return;
+  if (scc_.size() > 1) return;  // The token ring closes non-trivial SCCs.
+  if (!ExternallyReady()) return;
+  CloseSelf(/*notify_in_scc=*/true);
+}
+
+void UpdateEngine::CloseSelf(bool notify_in_scc) {
+  if (state_ == State::kClosed) return;
+  state_ = State::kClosed;
+  if (!notify_in_scc) {
+    // Ring closure: in-SCC subscribers close via the same SccClosed wave;
+    // only external subscribers need the final flagged answer.
+    for (Subscription& sub : subscriptions_) {
+      if (scc_.count(sub.subscriber)) sub.announced_closed = true;
+    }
+  }
+  NotifySubscribers();
+}
+
+void UpdateEngine::ReopenSelf() {
+  if (state_ != State::kClosed) return;
+  state_ = State::kOpen;
+  ++stats_.reopens;
+  NotifySubscribers();  // Announces state_u = open to flagged subscribers.
+  if (scc_.size() > 1) {
+    if (IsRingLeader()) {
+      last_round_.reset();
+      if (!token_running_) LeaderStartPass();
+    } else {
+      wire::Reopen r{session_};
+      peer_->Send(*scc_.begin(), net::MessageType::kReopen, r.Encode());
+    }
+  }
+}
+
+// --- SCC token ring ---------------------------------------------------------
+
+bool UpdateEngine::IsRingLeader() const {
+  return !scc_.empty() && *scc_.begin() == peer_->id();
+}
+
+NodeId UpdateEngine::RingSuccessor(NodeId member) const {
+  auto it = scc_.upper_bound(member);
+  return it == scc_.end() ? *scc_.begin() : *it;
+}
+
+void UpdateEngine::LeaderStartPass() {
+  if (scc_.size() <= 1) return;
+  token_running_ = true;
+  wire::Token tok;
+  tok.session = session_;
+  tok.leader = peer_->id();
+  tok.pass = next_pass_++;
+  tok.sum_sent = intra_sent_;
+  tok.sum_recv = intra_recv_;
+  tok.all_ready = state_ != State::kIdle && ExternallyReady();
+  ++stats_.token_passes;
+  peer_->Send(RingSuccessor(peer_->id()), net::MessageType::kToken,
+              tok.Encode());
+}
+
+void UpdateEngine::OnToken(NodeId from, const wire::Token& msg) {
+  (void)from;
+  if (msg.leader == peer_->id()) {
+    LeaderEvaluate(msg);
+    return;
+  }
+  wire::Token tok = msg;
+  tok.sum_sent += intra_sent_;
+  tok.sum_recv += intra_recv_;
+  tok.all_ready = tok.all_ready && state_ != State::kIdle && ExternallyReady();
+  peer_->Send(RingSuccessor(peer_->id()), net::MessageType::kToken,
+              tok.Encode());
+}
+
+void UpdateEngine::LeaderEvaluate(const wire::Token& token) {
+  // Mattern four-counter check: two consecutive passes observed identical
+  // monotone counters with sent == recv, and every member externally ready.
+  bool quiescent = token.all_ready && token.sum_sent == token.sum_recv &&
+                   last_round_.has_value() &&
+                   last_round_->sum_sent == token.sum_sent &&
+                   last_round_->sum_recv == token.sum_recv &&
+                   last_round_->all_ready;
+  if (quiescent) {
+    wire::SccClosed done{session_};
+    for (NodeId m : scc_) {
+      if (m != peer_->id()) {
+        peer_->Send(m, net::MessageType::kSccClosed, done.Encode());
+      }
+    }
+    CloseSelf(/*notify_in_scc=*/false);
+    last_round_.reset();
+    token_running_ = false;
+    return;
+  }
+  last_round_ = token;
+  LeaderStartPass();
+}
+
+void UpdateEngine::OnSccClosed(NodeId from, const wire::SccClosed& msg) {
+  (void)from;
+  (void)msg;
+  CloseSelf(/*notify_in_scc=*/false);
+}
+
+void UpdateEngine::OnReopen(NodeId from, const wire::Reopen& msg) {
+  (void)from;
+  (void)msg;
+  if (!IsRingLeader()) return;
+  last_round_.reset();
+  if (!token_running_) LeaderStartPass();
+}
+
+void UpdateEngine::CountIntraSccSend(NodeId to) {
+  if (scc_.size() > 1 && scc_.count(to)) ++intra_sent_;
+}
+
+void UpdateEngine::CountIntraSccRecv(NodeId from) {
+  if (scc_.size() > 1 && scc_.count(from)) ++intra_recv_;
+}
+
+// --- Query-dependent update --------------------------------------------------
+
+void UpdateEngine::StartPartial(uint64_t session,
+                                const std::set<std::string>& relations) {
+  session_ = session;
+  partial_mode_ = true;
+  state_ = State::kOpen;
+  ForwardPartial(relations, {});
+}
+
+void UpdateEngine::OnPartialUpdate(NodeId from, const wire::PartialUpdate& msg) {
+  (void)from;
+  // A4's loop guard: a node already on the query path does not recurse.
+  if (Contains(msg.sn_path, peer_->id())) return;
+  if (state_ == State::kIdle) session_ = msg.session;
+  ForwardPartial(msg.relations, msg.sn_path);
+}
+
+void UpdateEngine::ForwardPartial(const std::set<std::string>& relations,
+                                  std::vector<NodeId> sn_path) {
+  sn_path.push_back(peer_->id());
+  for (const CoordinationRule& r : peer_->rules()) {
+    bool relevant = false;
+    for (const rel::Atom& a : r.head_atoms) {
+      if (relations.count(a.relation)) relevant = true;
+    }
+    if (!relevant) continue;
+    if (!partial_rules_forwarded_.insert(r.id).second) continue;
+    RuleRuntime* rr = EnsureRuleRuntime(r);
+    SubscribeParts(*rr);
+    for (size_t p = 0; p < r.body.size(); ++p) {
+      NodeId target = r.body[p].node;
+      if (Contains(sn_path, target)) continue;  // ID ∈ SN: stop propagation.
+      wire::PartialUpdate fwd;
+      fwd.session = session_;
+      for (const rel::Atom& a : r.body[p].atoms) {
+        fwd.relations.insert(a.relation);
+      }
+      fwd.sn_path = sn_path;
+      peer_->Send(target, net::MessageType::kPartialUpdate, fwd.Encode());
+    }
+  }
+}
+
+// --- Dynamics (Section 4) ----------------------------------------------------
+
+void UpdateEngine::OnAddRule(NodeId from, const wire::AddRuleChange& msg) {
+  (void)from;
+  if (msg.rule.head_node != peer_->id()) {
+    P2PDB_LOG(kWarn) << "addRule notification for foreign head, node "
+                     << peer_->id();
+    return;
+  }
+  for (const CoordinationRule& r : peer_->rules()) {
+    if (r.id == msg.rule.id) return;  // Duplicate notification.
+  }
+  peer_->mutable_rules()->push_back(msg.rule);
+  if (state_ == State::kIdle) return;  // Will subscribe when a session starts.
+  RuleRuntime* rr = EnsureRuleRuntime(msg.rule);
+  if (state_ == State::kClosed) ReopenSelf();
+  // Extend the session to the new sources (they may not have been reachable
+  // at flood time), then subscribe.
+  if (!partial_mode_) {
+    wire::UpdateStart start{session_};
+    for (const CoordinationRule::BodyPart& p : msg.rule.body) {
+      peer_->Send(p.node, net::MessageType::kUpdateStart, start.Encode());
+    }
+  }
+  SubscribeParts(*rr);
+}
+
+void UpdateEngine::OnDeleteRule(NodeId from, const wire::DeleteRuleChange& msg) {
+  (void)from;
+  auto it = rule_runtimes_.find(msg.rule_id);
+  // Remove from the peer's rule list regardless of session state.
+  auto* rules = peer_->mutable_rules();
+  for (auto rit = rules->begin(); rit != rules->end(); ++rit) {
+    if (rit->id == msg.rule_id) {
+      rules->erase(rit);
+      break;
+    }
+  }
+  if (it == rule_runtimes_.end()) return;
+  wire::Unsubscribe unsub;
+  unsub.session = session_;
+  unsub.rule_id = msg.rule_id;
+  for (size_t p = 0; p < it->second.rule.body.size(); ++p) {
+    unsub.part = static_cast<uint32_t>(p);
+    NodeId target = it->second.rule.body[p].node;
+    CountIntraSccSend(target);
+    peer_->Send(target, net::MessageType::kUnsubscribe, unsub.Encode());
+  }
+  rule_runtimes_.erase(it);
+  // Dropping a rule can unblock closure (fewer parts to wait for).
+  MaybeCloseTrivial();
+}
+
+void UpdateEngine::OnUnsubscribe(NodeId from, const wire::Unsubscribe& msg) {
+  CountIntraSccRecv(from);
+  for (auto it = subscriptions_.begin(); it != subscriptions_.end(); ++it) {
+    if (it->subscriber == from && it->rule_id == msg.rule_id &&
+        it->part == msg.part) {
+      subscriptions_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace p2pdb::core

@@ -1,0 +1,180 @@
+// Database update (algorithms A4-A6) as a distributed fix-point computation.
+//
+// Global update: the super-peer floods UpdateStart along dependency edges;
+// each node subscribes (QueryRequest) to every body part of every rule it is
+// the head of. Body nodes evaluate the part query against their current data
+// and push answers (QueryAnswer) now and after every local change — full
+// result sets or deltas (the paper's "delta optimization"). The head joins
+// per-part answers and chase-inserts into its database (A6), inventing
+// labeled nulls for existential head variables; any change ripples to its own
+// subscribers. Data thus iterates around dependency cycles until fix-point.
+//
+// Fix-point detection (the paper's Rules/Paths flag machinery made precise):
+//  * a subscription is flagged when its source reports state_u = closed with
+//    a final answer (A5's `state == complete`);
+//  * a node in a trivial SCC closes when every part of every rule is flagged;
+//  * a multi-node SCC runs a token ring (Mattern four-counter termination
+//    detection over intra-SCC protocol messages): the leader (minimal id)
+//    closes the component after two consecutive token passes that observe
+//    identical send/receive counts, equal sums, and all members externally
+//    ready. SCC membership comes from the discovery phase's edge knowledge.
+//
+// Query-dependent update: PartialUpdate messages pull only the relations a
+// local query needs, carrying the paper's SN node path to bound propagation;
+// termination is by network quiescence instead of closure flags.
+//
+// Dynamics (Section 4): AddRule/DeleteRule notifications re-subscribe or
+// unsubscribe at run time and re-open closed nodes; inserted data is never
+// retracted, which keeps the final state inside the sound/complete envelope
+// of Definition 9.
+#ifndef P2PDB_CORE_UPDATE_H_
+#define P2PDB_CORE_UPDATE_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/core/wire.h"
+#include "src/relational/chase.h"
+#include "src/util/ids.h"
+
+namespace p2pdb::core {
+
+class Peer;
+
+/// Per-node options for the update algorithm.
+struct UpdateOptions {
+  /// Send only new tuples on re-answer (delta optimization). When false the
+  /// full result set is retransmitted on every change (the paper's baseline
+  /// behaviour; ablation A1).
+  bool delta_answers = true;
+  rel::ChaseOptions chase;
+};
+
+class UpdateEngine {
+ public:
+  /// state_u in the paper: open until the node's data is complete.
+  enum class State { kIdle, kOpen, kClosed };
+
+  struct Stats {
+    uint64_t tuples_inserted = 0;
+    uint64_t applications_skipped = 0;
+    uint64_t applications_truncated = 0;
+    uint64_t joins_evaluated = 0;
+    uint64_t answers_sent = 0;
+    uint64_t token_passes = 0;
+    uint64_t reopens = 0;
+  };
+
+  UpdateEngine(Peer* peer, UpdateOptions options)
+      : peer_(peer), options_(options) {}
+
+  /// Super-peer entry point: joins the session and floods UpdateStart.
+  void StartSession(uint64_t session);
+
+  /// Query-dependent update: pull only `relations` (needed by a local query).
+  void StartPartial(uint64_t session, const std::set<std::string>& relations);
+
+  void OnUpdateStart(NodeId from, const wire::UpdateStart& msg);
+  void OnQueryRequest(NodeId from, const wire::QueryRequest& msg);
+  void OnQueryAnswer(NodeId from, const wire::QueryAnswer& msg);
+  void OnUnsubscribe(NodeId from, const wire::Unsubscribe& msg);
+  void OnPartialUpdate(NodeId from, const wire::PartialUpdate& msg);
+  void OnToken(NodeId from, const wire::Token& msg);
+  void OnSccClosed(NodeId from, const wire::SccClosed& msg);
+  void OnReopen(NodeId from, const wire::Reopen& msg);
+  void OnAddRule(NodeId from, const wire::AddRuleChange& msg);
+  void OnDeleteRule(NodeId from, const wire::DeleteRuleChange& msg);
+
+  State state() const { return state_; }
+  const Stats& stats() const { return stats_; }
+  uint64_t session() const { return session_; }
+
+  /// Recomputes SCC membership from the peer's (possibly re-discovered)
+  /// topology knowledge. Called on session join and by the session driver
+  /// after dynamic changes.
+  void RefreshScc();
+
+ private:
+  /// Head-side state of one rule: accumulated answers per body part.
+  struct RuleRuntime {
+    CoordinationRule rule;
+    std::vector<std::set<rel::Tuple>> part_answers;
+    std::vector<bool> part_closed;
+  };
+
+  /// Body-side state of one subscription from a head node.
+  struct Subscription {
+    NodeId subscriber = kNoNode;
+    std::string rule_id;
+    uint32_t part = 0;
+    rel::ConjunctiveQuery query;
+    std::set<rel::Tuple> last_sent;
+    bool announced_closed = false;
+  };
+
+  void JoinSession(uint64_t session, bool flood);
+  RuleRuntime* EnsureRuleRuntime(const CoordinationRule& rule);
+  void SubscribeParts(const RuleRuntime& rr);
+  /// Semi-naive rule application: joins the *new* tuples of part
+  /// `delta_part` against the full accumulated answers of the other parts and
+  /// applies the rule head; returns true if the local database changed.
+  /// Complete for monotone answers — bindings made only of old tuples were
+  /// applied by an earlier call.
+  bool JoinAndApply(RuleRuntime* rr, uint32_t delta_part,
+                    const std::set<rel::Tuple>& delta);
+  /// Sends deltas / closure flags to subscribers whose view is stale.
+  /// Incremental: consumes the tuples the chase inserted since the last call
+  /// (pending_delta_) and evaluates each subscription semi-naively against
+  /// just that delta instead of re-running the full query.
+  void NotifySubscribers();
+  /// Closes this node if it is open, externally ready, and not in a
+  /// non-trivial SCC; then notifies subscribers.
+  void MaybeCloseTrivial();
+  void CloseSelf(bool notify_in_scc);
+  void ReopenSelf();
+  bool ExternallyReady() const;
+
+  // --- SCC token ring ---
+  bool IsRingLeader() const;
+  NodeId RingSuccessor(NodeId member) const;
+  void LeaderStartPass();
+  void LeaderEvaluate(const wire::Token& token);
+  void CountIntraSccSend(NodeId to);
+  void CountIntraSccRecv(NodeId from);
+
+  void ForwardPartial(const std::set<std::string>& relations,
+                      std::vector<NodeId> sn_path);
+
+  Peer* peer_;
+  UpdateOptions options_;
+  State state_ = State::kIdle;
+  uint64_t session_ = 0;
+  bool partial_mode_ = false;
+
+  std::map<std::string, RuleRuntime> rule_runtimes_;
+  std::vector<Subscription> subscriptions_;
+  /// Tuples inserted by the chase since the last subscriber notification,
+  /// keyed by relation (the semi-naive evaluation feed).
+  std::map<std::string, std::set<rel::Tuple>> pending_delta_;
+
+  // SCC termination detection.
+  std::set<NodeId> scc_;
+  uint64_t intra_sent_ = 0;
+  uint64_t intra_recv_ = 0;
+  bool token_running_ = false;
+  uint64_t next_pass_ = 1;
+  std::optional<wire::Token> last_round_;
+
+  // Query-dependent update dedup.
+  std::set<std::string> partial_rules_forwarded_;
+
+  Stats stats_;
+};
+
+}  // namespace p2pdb::core
+
+#endif  // P2PDB_CORE_UPDATE_H_

@@ -1,0 +1,188 @@
+// Typed protocol payloads and their binary codecs. Every protocol message is
+// serialized before it is handed to the runtime, so byte counts reported by
+// the statistics module reflect true wire volumes, and codecs are round-trip
+// tested like any other storage format.
+#ifndef P2PDB_CORE_WIRE_H_
+#define P2PDB_CORE_WIRE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/relational/codec.h"
+#include "src/relational/cq.h"
+#include "src/relational/tuple.h"
+#include "src/util/ids.h"
+#include "src/util/serde.h"
+#include "src/util/status.h"
+
+namespace p2pdb::core::wire {
+
+// --- Building-block codecs -------------------------------------------------
+
+// Value/tuple codecs live in relational/codec.h (shared with snapshots);
+// re-exported here for wire users.
+using rel::DecodeTuple;
+using rel::DecodeTupleSet;
+using rel::DecodeValue;
+using rel::EncodeTuple;
+using rel::EncodeTupleSet;
+using rel::EncodeValue;
+
+void EncodeTerm(const rel::Term& t, Writer* w);
+Result<rel::Term> DecodeTerm(Reader* r);
+
+void EncodeAtom(const rel::Atom& a, Writer* w);
+Result<rel::Atom> DecodeAtom(Reader* r);
+
+void EncodeBuiltin(const rel::Builtin& b, Writer* w);
+Result<rel::Builtin> DecodeBuiltin(Reader* r);
+
+void EncodeQuery(const rel::ConjunctiveQuery& q, Writer* w);
+Result<rel::ConjunctiveQuery> DecodeQuery(Reader* r);
+
+void EncodeRule(const CoordinationRule& rule, Writer* w);
+Result<CoordinationRule> DecodeRule(Reader* r);
+
+using Edge = std::pair<NodeId, NodeId>;
+void EncodeEdges(const std::set<Edge>& edges, Writer* w);
+Result<std::set<Edge>> DecodeEdges(Reader* r);
+
+// --- Protocol payloads -----------------------------------------------------
+
+/// A1/A2 requestNodes: flood request on behalf of `origin`.
+struct DiscoverRequest {
+  NodeId origin = kNoNode;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<DiscoverRequest> Decode(const std::vector<uint8_t>& bytes);
+};
+
+/// A3 processAnswer: edges aggregated below the sender. `visited` marks the
+/// immediate reply of a node that had already joined this origin's instance.
+struct DiscoverAnswer {
+  NodeId origin = kNoNode;
+  bool visited = false;
+  std::set<Edge> edges;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<DiscoverAnswer> Decode(const std::vector<uint8_t>& bytes);
+};
+
+/// Closure broadcast: the origin's complete reachable edge set, pushed down
+/// the request tree so every participant can derive its own maximal paths and
+/// set state_d = closed.
+struct DiscoverClosure {
+  NodeId origin = kNoNode;
+  std::set<Edge> edges;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<DiscoverClosure> Decode(const std::vector<uint8_t>& bytes);
+};
+
+/// Global update request flooded from the super-peer.
+struct UpdateStart {
+  uint64_t session = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<UpdateStart> Decode(const std::vector<uint8_t>& bytes);
+};
+
+/// A4 Query: the head node subscribes to one body part of one of its rules;
+/// the body node evaluates `query` now and on every local change.
+struct QueryRequest {
+  uint64_t session = 0;
+  std::string rule_id;
+  uint32_t part = 0;
+  rel::ConjunctiveQuery query;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<QueryRequest> Decode(const std::vector<uint8_t>& bytes);
+};
+
+/// A5 Answer: tuples for one subscription. With the delta optimization only
+/// new tuples travel (is_delta = true); `source_closed` carries the body
+/// node's state_u so the head can flag the rule (A5's `state == complete`).
+struct QueryAnswer {
+  uint64_t session = 0;
+  std::string rule_id;
+  uint32_t part = 0;
+  bool is_delta = true;
+  bool source_closed = false;
+  std::set<rel::Tuple> tuples;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<QueryAnswer> Decode(const std::vector<uint8_t>& bytes);
+};
+
+/// Cancels one subscription (deleteLink handling, Section 4).
+struct Unsubscribe {
+  uint64_t session = 0;
+  std::string rule_id;
+  uint32_t part = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<Unsubscribe> Decode(const std::vector<uint8_t>& bytes);
+};
+
+/// Query-dependent update: pulls only relations needed by a local query,
+/// carrying the paper's SN node path to bound propagation (A4's ID ∉ SN test).
+struct PartialUpdate {
+  uint64_t session = 0;
+  std::set<std::string> relations;
+  std::vector<NodeId> sn_path;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<PartialUpdate> Decode(const std::vector<uint8_t>& bytes);
+};
+
+/// Termination-detection token circulating a strongly connected component
+/// (Mattern four-counter scheme; see update.h).
+struct Token {
+  uint64_t session = 0;
+  NodeId leader = kNoNode;
+  uint64_t pass = 0;
+  uint64_t sum_sent = 0;
+  uint64_t sum_recv = 0;
+  bool all_ready = true;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<Token> Decode(const std::vector<uint8_t>& bytes);
+};
+
+/// Leader's closure broadcast to its SCC.
+struct SccClosed {
+  uint64_t session = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<SccClosed> Decode(const std::vector<uint8_t>& bytes);
+};
+
+/// A member that re-opened (dynamics) asks the leader to resume the token.
+struct Reopen {
+  uint64_t session = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<Reopen> Decode(const std::vector<uint8_t>& bytes);
+};
+
+/// addLink notification (Definition 8): delivered to the head node.
+struct AddRuleChange {
+  CoordinationRule rule;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<AddRuleChange> Decode(const std::vector<uint8_t>& bytes);
+};
+
+/// deleteLink notification: delivered to the head node.
+struct DeleteRuleChange {
+  std::string rule_id;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<DeleteRuleChange> Decode(const std::vector<uint8_t>& bytes);
+};
+
+}  // namespace p2pdb::core::wire
+
+#endif  // P2PDB_CORE_WIRE_H_

@@ -1,0 +1,219 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+
+#include "src/util/string_util.h"
+
+namespace p2pdb::lang {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kInt:
+      return "integer";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemi:
+      return "';'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kArrow:
+      return "'=>'";
+    case TokenKind::kTurnstile:
+      return "':-'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  auto make = [&](TokenKind kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.column = column;
+    return t;
+  };
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n && i < input.size(); ++k) {
+      if (input[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '#') {
+      while (i < input.size() && input[i] != '\n') advance(1);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      Token t = make(TokenKind::kIdent);
+      size_t start = i;
+      while (i < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) ||
+              input[i] == '_')) {
+        advance(1);
+      }
+      t.text = input.substr(start, i - start);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      Token t = make(TokenKind::kInt);
+      size_t start = i;
+      advance(1);
+      while (i < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[i]))) {
+        advance(1);
+      }
+      t.int_value = std::stoll(input.substr(start, i - start));
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      Token t = make(TokenKind::kString);
+      advance(1);
+      std::string value;
+      bool closed = false;
+      while (i < input.size()) {
+        if (input[i] == '"') {
+          closed = true;
+          advance(1);
+          break;
+        }
+        if (input[i] == '\\' && i + 1 < input.size()) {
+          advance(1);
+          value.push_back(input[i]);
+          advance(1);
+          continue;
+        }
+        value.push_back(input[i]);
+        advance(1);
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string at line %d", t.line));
+      }
+      t.text = std::move(value);
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Punctuation, longest match first.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < input.size() && input[i + 1] == b;
+    };
+    if (two('=', '>')) {
+      out.push_back(make(TokenKind::kArrow));
+      advance(2);
+      continue;
+    }
+    if (two(':', '-')) {
+      out.push_back(make(TokenKind::kTurnstile));
+      advance(2);
+      continue;
+    }
+    if (two('!', '=')) {
+      out.push_back(make(TokenKind::kNe));
+      advance(2);
+      continue;
+    }
+    if (two('<', '=')) {
+      out.push_back(make(TokenKind::kLe));
+      advance(2);
+      continue;
+    }
+    if (two('>', '=')) {
+      out.push_back(make(TokenKind::kGe));
+      advance(2);
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case '(':
+        kind = TokenKind::kLParen;
+        break;
+      case ')':
+        kind = TokenKind::kRParen;
+        break;
+      case '{':
+        kind = TokenKind::kLBrace;
+        break;
+      case '}':
+        kind = TokenKind::kRBrace;
+        break;
+      case ',':
+        kind = TokenKind::kComma;
+        break;
+      case ';':
+        kind = TokenKind::kSemi;
+        break;
+      case ':':
+        kind = TokenKind::kColon;
+        break;
+      case '.':
+        kind = TokenKind::kDot;
+        break;
+      case '=':
+        kind = TokenKind::kEq;
+        break;
+      case '<':
+        kind = TokenKind::kLt;
+        break;
+      case '>':
+        kind = TokenKind::kGt;
+        break;
+      default:
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at line %d:%d", c, line,
+                      column));
+    }
+    out.push_back(make(kind));
+    advance(1);
+  }
+  out.push_back(make(TokenKind::kEof));
+  return out;
+}
+
+}  // namespace p2pdb::lang

@@ -1,0 +1,54 @@
+// Lexer for the P2P system description language (node schemas, facts,
+// coordination rules, queries). The super-peer in Section 5 distributes
+// coordination rules to all peers from a file; this language is that file
+// format.
+#ifndef P2PDB_LANG_LEXER_H_
+#define P2PDB_LANG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace p2pdb::lang {
+
+enum class TokenKind {
+  kIdent,    // identifier or keyword
+  kString,   // "quoted"
+  kInt,      // 42, -7
+  kLParen,   // (
+  kRParen,   // )
+  kLBrace,   // {
+  kRBrace,   // }
+  kComma,    // ,
+  kSemi,     // ;
+  kColon,    // :
+  kDot,      // .
+  kArrow,    // =>
+  kTurnstile,  // :-
+  kEq,       // =
+  kNe,       // !=
+  kLt,       // <
+  kLe,       // <=
+  kGt,       // >
+  kGe,       // >=
+  kEof,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   // identifier text / string contents
+  int64_t int_value = 0;
+  int line = 0;
+  int column = 0;
+};
+
+/// Tokenizes the whole input. '#' starts a comment running to end of line.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace p2pdb::lang
+
+#endif  // P2PDB_LANG_LEXER_H_

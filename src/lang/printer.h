@@ -1,0 +1,27 @@
+// Pretty-printers: system descriptions in the rule language (round-trippable
+// through the parser) and the Section-2 style table of maximal dependency
+// paths.
+#ifndef P2PDB_LANG_PRINTER_H_
+#define P2PDB_LANG_PRINTER_H_
+
+#include <string>
+
+#include "src/core/system.h"
+
+namespace p2pdb::lang {
+
+/// Renders the system (schemas, facts, rules) in the description language;
+/// ParseSystem(PrintSystem(s)) reproduces s.
+std::string PrintSystem(const core::P2PSystem& system);
+
+/// Renders one rule in the language's rule syntax ("rule id: ... => ...;").
+std::string PrintRule(const core::P2PSystem& system,
+                      const core::CoordinationRule& rule);
+
+/// The table of maximal dependency paths for every node (the in-text table of
+/// Section 2), computed from the full rule set.
+std::string FormatMaximalPathsTable(const core::P2PSystem& system);
+
+}  // namespace p2pdb::lang
+
+#endif  // P2PDB_LANG_PRINTER_H_

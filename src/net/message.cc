@@ -1,0 +1,45 @@
+#include "src/net/message.h"
+
+#include "src/util/string_util.h"
+
+namespace p2pdb::net {
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kDiscoverRequest:
+      return "DiscoverRequest";
+    case MessageType::kDiscoverAnswer:
+      return "DiscoverAnswer";
+    case MessageType::kDiscoverClosure:
+      return "DiscoverClosure";
+    case MessageType::kUpdateStart:
+      return "UpdateStart";
+    case MessageType::kQueryRequest:
+      return "QueryRequest";
+    case MessageType::kQueryAnswer:
+      return "QueryAnswer";
+    case MessageType::kUnsubscribe:
+      return "Unsubscribe";
+    case MessageType::kPartialUpdate:
+      return "PartialUpdate";
+    case MessageType::kToken:
+      return "Token";
+    case MessageType::kSccClosed:
+      return "SccClosed";
+    case MessageType::kReopen:
+      return "Reopen";
+    case MessageType::kAddRule:
+      return "AddRule";
+    case MessageType::kDeleteRule:
+      return "DeleteRule";
+  }
+  return "Unknown";
+}
+
+std::string Message::ToString() const {
+  return StrFormat("%s %u->%u (%zu bytes, seq %llu)", MessageTypeName(type),
+                   from, to, payload.size(),
+                   static_cast<unsigned long long>(seq));
+}
+
+}  // namespace p2pdb::net

@@ -1,0 +1,54 @@
+// Message envelope exchanged between peers. Payloads are pre-serialized bytes
+// (see core/wire.h for the typed payload structs) so that the statistics
+// module can report true on-wire volumes, as the paper's prototype did.
+#ifndef P2PDB_NET_MESSAGE_H_
+#define P2PDB_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/ids.h"
+
+namespace p2pdb::net {
+
+enum class MessageType : uint8_t {
+  // Topology discovery (algorithms A1-A3).
+  kDiscoverRequest = 1,
+  kDiscoverAnswer = 2,
+  kDiscoverClosure = 3,
+  // Database update (algorithms A4-A6).
+  kUpdateStart = 10,
+  kQueryRequest = 11,
+  kQueryAnswer = 12,
+  kUnsubscribe = 13,
+  kPartialUpdate = 14,
+  // Fix-point detection within strongly connected components.
+  kToken = 20,
+  kSccClosed = 21,
+  kReopen = 22,
+  // Dynamic network change notifications (Section 4).
+  kAddRule = 30,
+  kDeleteRule = 31,
+};
+
+const char* MessageTypeName(MessageType type);
+
+/// One message in flight.
+struct Message {
+  MessageType type = MessageType::kDiscoverRequest;
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::vector<uint8_t> payload;
+  /// Sequence number assigned by the runtime at send time (debug/tracing).
+  uint64_t seq = 0;
+
+  /// Estimated wire size: payload plus a fixed header (type, from, to, seq).
+  size_t WireSize() const { return payload.size() + 13; }
+
+  std::string ToString() const;
+};
+
+}  // namespace p2pdb::net
+
+#endif  // P2PDB_NET_MESSAGE_H_

@@ -1,0 +1,34 @@
+#include "src/net/network.h"
+
+namespace p2pdb::net {
+
+namespace {
+std::pair<NodeId, NodeId> Key(NodeId a, NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+}  // namespace
+
+void Network::AddRuleLink(NodeId head, NodeId body) {
+  runtime_->pipes().Open(head, body);
+  acquaintances_[head].insert(body);
+  acquaintances_[body].insert(head);
+  link_rules_[Key(head, body)] += 1;
+}
+
+void Network::RemoveRuleLink(NodeId head, NodeId body) {
+  auto it = link_rules_.find(Key(head, body));
+  if (it == link_rules_.end()) return;
+  runtime_->pipes().Close(head, body);
+  if (--it->second <= 0) {
+    link_rules_.erase(it);
+    acquaintances_[head].erase(body);
+    acquaintances_[body].erase(head);
+  }
+}
+
+std::set<NodeId> Network::Acquaintances(NodeId node) const {
+  auto it = acquaintances_.find(node);
+  return it == acquaintances_.end() ? std::set<NodeId>{} : it->second;
+}
+
+}  // namespace p2pdb::net

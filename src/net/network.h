@@ -1,0 +1,40 @@
+// Network: acquaintance bookkeeping above the runtime. When a node starts it
+// opens pipes to the nodes it has coordination rules with (Section 5); several
+// rules share a pipe, and a pipe closes when its last rule is dropped.
+#ifndef P2PDB_NET_NETWORK_H_
+#define P2PDB_NET_NETWORK_H_
+
+#include <map>
+#include <set>
+
+#include "src/net/runtime.h"
+
+namespace p2pdb::net {
+
+class Network {
+ public:
+  explicit Network(Runtime* runtime) : runtime_(runtime) {}
+
+  /// Registers that a coordination rule connects `head` and `body`; opens (or
+  /// references) their shared pipe.
+  void AddRuleLink(NodeId head, NodeId body);
+
+  /// Drops one rule's use of the pipe; the pipe closes when unused.
+  void RemoveRuleLink(NodeId head, NodeId body);
+
+  /// Nodes sharing an open pipe with `node` (the node's acquaintances).
+  std::set<NodeId> Acquaintances(NodeId node) const;
+
+  size_t open_pipe_count() const { return runtime_->pipes().open_count(); }
+
+  Runtime* runtime() { return runtime_; }
+
+ private:
+  Runtime* runtime_;
+  std::map<NodeId, std::set<NodeId>> acquaintances_;
+  std::map<std::pair<NodeId, NodeId>, int> link_rules_;
+};
+
+}  // namespace p2pdb::net
+
+#endif  // P2PDB_NET_NETWORK_H_

@@ -1,0 +1,65 @@
+// Runtime: the asynchronous message-passing substrate peers run on.
+// Two implementations share this interface: SimRuntime (deterministic
+// discrete-event simulation — used by tests and benches so time and message
+// interleavings are reproducible) and ThreadRuntime (a thread per peer with
+// mailboxes — real asynchrony, as in the paper's JXTA prototype).
+#ifndef P2PDB_NET_RUNTIME_H_
+#define P2PDB_NET_RUNTIME_H_
+
+#include <functional>
+
+#include "src/net/message.h"
+#include "src/net/pipe.h"
+#include "src/net/stats.h"
+#include "src/util/status.h"
+
+namespace p2pdb::net {
+
+/// Callback interface a peer implements to receive messages. The runtime
+/// guarantees that for a given peer, OnMessage invocations never overlap.
+class PeerHandler {
+ public:
+  virtual ~PeerHandler() = default;
+  virtual void OnMessage(const Message& msg) = 0;
+};
+
+/// Observes every delivered message (used by the Figure-1 trace bench).
+using MessageTracer = std::function<void(uint64_t time_micros, const Message&)>;
+
+/// Abstract asynchronous runtime.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Registers the handler for node `id`. Must happen before Run().
+  virtual void RegisterPeer(NodeId id, PeerHandler* handler) = 0;
+
+  /// Queues a message for asynchronous delivery. Callable from handlers.
+  virtual void Send(Message msg) = 0;
+
+  /// Schedules a message to be injected at an absolute time (used to model
+  /// dynamic network changes arriving mid-run, Section 4).
+  virtual void ScheduleSend(uint64_t time_micros, Message msg) = 0;
+
+  /// Delivers messages until the network is quiescent (no message in flight
+  /// and no handler running). Returns an error on runaway executions.
+  virtual Status Run() = 0;
+
+  /// Current time in microseconds: simulated (SimRuntime) or wall-clock
+  /// elapsed since construction (ThreadRuntime).
+  virtual uint64_t NowMicros() const = 0;
+
+  NetStats& stats() { return stats_; }
+  PipeTable& pipes() { return pipes_; }
+
+  void set_tracer(MessageTracer tracer) { tracer_ = std::move(tracer); }
+
+ protected:
+  NetStats stats_;
+  PipeTable pipes_;
+  MessageTracer tracer_;
+};
+
+}  // namespace p2pdb::net
+
+#endif  // P2PDB_NET_RUNTIME_H_

@@ -1,0 +1,69 @@
+#include "src/net/stats.h"
+
+#include "src/util/string_util.h"
+
+namespace p2pdb::net {
+
+void NetStats::RecordSend(const Message& msg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t bytes = msg.WireSize();
+  total_messages_ += 1;
+  total_bytes_ += bytes;
+  PipeStats& by_type = per_type_[msg.type];
+  by_type.messages += 1;
+  by_type.bytes += bytes;
+  PipeStats& by_pipe = per_pipe_[{msg.from, msg.to}];
+  by_pipe.messages += 1;
+  by_pipe.bytes += bytes;
+}
+
+void NetStats::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_messages_ = 0;
+  total_bytes_ = 0;
+  per_type_.clear();
+  per_pipe_.clear();
+}
+
+uint64_t NetStats::total_messages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_messages_;
+}
+
+uint64_t NetStats::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_bytes_;
+}
+
+uint64_t NetStats::MessagesOfType(MessageType type) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = per_type_.find(type);
+  return it == per_type_.end() ? 0 : it->second.messages;
+}
+
+uint64_t NetStats::BytesOfType(MessageType type) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = per_type_.find(type);
+  return it == per_type_.end() ? 0 : it->second.bytes;
+}
+
+std::map<std::pair<NodeId, NodeId>, PipeStats> NetStats::PerPipe() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return per_pipe_;
+}
+
+std::string NetStats::Report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out =
+      StrFormat("messages=%llu bytes=%llu\n",
+                static_cast<unsigned long long>(total_messages_),
+                static_cast<unsigned long long>(total_bytes_));
+  for (const auto& [type, stats] : per_type_) {
+    out += StrFormat("  %-16s msgs=%-8llu bytes=%llu\n", MessageTypeName(type),
+                     static_cast<unsigned long long>(stats.messages),
+                     static_cast<unsigned long long>(stats.bytes));
+  }
+  return out;
+}
+
+}  // namespace p2pdb::net

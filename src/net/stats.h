@@ -1,0 +1,49 @@
+// Network statistics: the paper's per-node "statistical module" aggregated —
+// number of messages per type, bytes per pipe, and counters the super-peer can
+// reset or collect for an experiment run.
+#ifndef P2PDB_NET_STATS_H_
+#define P2PDB_NET_STATS_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/net/message.h"
+
+namespace p2pdb::net {
+
+struct PipeStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+};
+
+/// Thread-safe counters shared by all pipes of a runtime.
+class NetStats {
+ public:
+  void RecordSend(const Message& msg);
+
+  /// Drops all counters (the super-peer "reset statistics" command).
+  void Reset();
+
+  uint64_t total_messages() const;
+  uint64_t total_bytes() const;
+  uint64_t MessagesOfType(MessageType type) const;
+  uint64_t BytesOfType(MessageType type) const;
+
+  /// Per directed pipe (from, to).
+  std::map<std::pair<NodeId, NodeId>, PipeStats> PerPipe() const;
+
+  /// Tabular report of counters per message type.
+  std::string Report() const;
+
+ private:
+  mutable std::mutex mutex_;
+  uint64_t total_messages_ = 0;
+  uint64_t total_bytes_ = 0;
+  std::map<MessageType, PipeStats> per_type_;
+  std::map<std::pair<NodeId, NodeId>, PipeStats> per_pipe_;
+};
+
+}  // namespace p2pdb::net
+
+#endif  // P2PDB_NET_STATS_H_

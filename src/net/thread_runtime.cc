@@ -1,0 +1,136 @@
+#include "src/net/thread_runtime.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace p2pdb::net {
+
+ThreadRuntime::ThreadRuntime(Options options)
+    : options_(options), start_time_(std::chrono::steady_clock::now()) {}
+
+ThreadRuntime::~ThreadRuntime() { StopThreads(); }
+
+void ThreadRuntime::RegisterPeer(NodeId id, PeerHandler* handler) {
+  auto box = std::make_unique<Mailbox>();
+  box->handler = handler;
+  mailboxes_[id] = std::move(box);
+}
+
+void ThreadRuntime::Send(Message msg) {
+  msg.seq = next_seq_.fetch_add(1);
+  stats_.RecordSend(msg);
+  auto it = mailboxes_.find(msg.to);
+  if (it == mailboxes_.end()) {
+    P2PDB_LOG(kWarn) << "dropping message to unknown peer: " << msg.ToString();
+    return;
+  }
+  in_flight_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(it->second->mutex);
+    it->second->queue.push_back(std::move(msg));
+  }
+  it->second->cv.notify_one();
+}
+
+void ThreadRuntime::ScheduleSend(uint64_t time_micros, Message msg) {
+  in_flight_.fetch_add(1);  // Released when the timer hands it to Send.
+  {
+    std::lock_guard<std::mutex> lock(timer_mutex_);
+    timer_queue_.emplace_back(time_micros, std::move(msg));
+  }
+  timer_cv_.notify_one();
+}
+
+uint64_t ThreadRuntime::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+}
+
+void ThreadRuntime::PeerLoop(NodeId id, Mailbox* box) {
+  (void)id;
+  for (;;) {
+    Message msg;
+    {
+      std::unique_lock<std::mutex> lock(box->mutex);
+      box->cv.wait(lock,
+                   [&] { return stop_.load() || !box->queue.empty(); });
+      if (box->queue.empty()) return;  // stop_ set and drained
+      msg = std::move(box->queue.front());
+      box->queue.pop_front();
+    }
+    if (tracer_) tracer_(NowMicros(), msg);
+    box->handler->OnMessage(msg);
+    in_flight_.fetch_sub(1);
+  }
+}
+
+void ThreadRuntime::TimerLoop() {
+  std::unique_lock<std::mutex> lock(timer_mutex_);
+  while (!stop_.load()) {
+    if (timer_queue_.empty()) {
+      timer_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      continue;
+    }
+    auto soonest = std::min_element(
+        timer_queue_.begin(), timer_queue_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    uint64_t now = NowMicros();
+    if (soonest->first > now) {
+      timer_cv_.wait_for(lock,
+                         std::chrono::microseconds(soonest->first - now));
+      continue;
+    }
+    Message msg = std::move(soonest->second);
+    timer_queue_.erase(soonest);
+    lock.unlock();
+    Send(std::move(msg));
+    in_flight_.fetch_sub(1);  // The ScheduleSend hold.
+    lock.lock();
+  }
+}
+
+Status ThreadRuntime::Run() {
+  if (!threads_started_) {
+    threads_started_ = true;
+    stop_.store(false);
+    for (auto& [id, box] : mailboxes_) {
+      threads_.emplace_back(&ThreadRuntime::PeerLoop, this, id, box.get());
+    }
+    timer_thread_ = std::thread(&ThreadRuntime::TimerLoop, this);
+  }
+  auto deadline = std::chrono::steady_clock::now() + options_.timeout;
+  // Quiescence: in_flight_ observed zero twice with a pause in between
+  // (handlers only send from within handlers, so zero is stable once true
+  // unless a timer later fires; pending timers keep in_flight_ > 0).
+  int stable = 0;
+  while (stable < 3) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      return Status::Internal("ThreadRuntime: quiescence not reached in time");
+    }
+    if (in_flight_.load() == 0) {
+      ++stable;
+    } else {
+      stable = 0;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return Status::OK();
+}
+
+void ThreadRuntime::StopThreads() {
+  if (!threads_started_) return;
+  stop_.store(true);
+  for (auto& [id, box] : mailboxes_) {
+    box->cv.notify_all();
+  }
+  timer_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  if (timer_thread_.joinable()) timer_thread_.join();
+  threads_.clear();
+  threads_started_ = false;
+}
+
+}  // namespace p2pdb::net

@@ -1,0 +1,78 @@
+#include "src/relational/codec.h"
+
+namespace p2pdb::rel {
+
+void EncodeValue(const Value& v, Writer* w) {
+  w->PutU8(static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case ValueKind::kInt:
+      w->PutI64(v.AsInt());
+      break;
+    case ValueKind::kString:
+      w->PutString(v.AsStr());
+      break;
+    case ValueKind::kNull:
+      w->PutU64(v.null_id());
+      break;
+  }
+}
+
+Result<Value> DecodeValue(Reader* r) {
+  auto tag = r->GetU8();
+  if (!tag.ok()) return tag.status();
+  switch (static_cast<ValueKind>(*tag)) {
+    case ValueKind::kInt: {
+      auto i = r->GetI64();
+      if (!i.ok()) return i.status();
+      return Value::Int(*i);
+    }
+    case ValueKind::kString: {
+      auto s = r->GetString();
+      if (!s.ok()) return s.status();
+      return Value::Str(std::move(*s));
+    }
+    case ValueKind::kNull: {
+      auto id = r->GetU64();
+      if (!id.ok()) return id.status();
+      return Value::Null(*id);
+    }
+  }
+  return Status::ParseError("bad value tag");
+}
+
+void EncodeTuple(const Tuple& t, Writer* w) {
+  w->PutVarint(t.arity());
+  for (const Value& v : t.values()) EncodeValue(v, w);
+}
+
+Result<Tuple> DecodeTuple(Reader* r) {
+  auto n = r->GetVarint();
+  if (!n.ok()) return n.status();
+  std::vector<Value> values;
+  values.reserve(*n);
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto v = DecodeValue(r);
+    if (!v.ok()) return v.status();
+    values.push_back(std::move(*v));
+  }
+  return Tuple(std::move(values));
+}
+
+void EncodeTupleSet(const std::set<Tuple>& tuples, Writer* w) {
+  w->PutVarint(tuples.size());
+  for (const Tuple& t : tuples) EncodeTuple(t, w);
+}
+
+Result<std::set<Tuple>> DecodeTupleSet(Reader* r) {
+  auto n = r->GetVarint();
+  if (!n.ok()) return n.status();
+  std::set<Tuple> out;
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto t = DecodeTuple(r);
+    if (!t.ok()) return t.status();
+    out.insert(std::move(*t));
+  }
+  return out;
+}
+
+}  // namespace p2pdb::rel

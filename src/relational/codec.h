@@ -1,0 +1,25 @@
+// Binary codecs for values and tuples, shared by the wire format (core/wire)
+// and database snapshots (relational/snapshot).
+#ifndef P2PDB_RELATIONAL_CODEC_H_
+#define P2PDB_RELATIONAL_CODEC_H_
+
+#include <set>
+
+#include "src/relational/tuple.h"
+#include "src/util/serde.h"
+#include "src/util/status.h"
+
+namespace p2pdb::rel {
+
+void EncodeValue(const Value& v, Writer* w);
+Result<Value> DecodeValue(Reader* r);
+
+void EncodeTuple(const Tuple& t, Writer* w);
+Result<Tuple> DecodeTuple(Reader* r);
+
+void EncodeTupleSet(const std::set<Tuple>& tuples, Writer* w);
+Result<std::set<Tuple>> DecodeTupleSet(Reader* r);
+
+}  // namespace p2pdb::rel
+
+#endif  // P2PDB_RELATIONAL_CODEC_H_

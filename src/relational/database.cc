@@ -1,0 +1,54 @@
+#include "src/relational/database.h"
+
+namespace p2pdb::rel {
+
+Status Database::CreateRelation(RelationSchema schema) {
+  const std::string name = schema.name();
+  auto [it, inserted] = relations_.emplace(name, Relation(std::move(schema)));
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("relation " + name);
+  return Status::OK();
+}
+
+Result<const Relation*> Database::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return Status::NotFound("relation " + name);
+  return &it->second;
+}
+
+Result<Relation*> Database::GetMutable(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return Status::NotFound("relation " + name);
+  return &it->second;
+}
+
+Result<bool> Database::Insert(const std::string& relation, Tuple tuple) {
+  auto rel = GetMutable(relation);
+  if (!rel.ok()) return rel.status();
+  return (*rel)->Insert(std::move(tuple));
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [name, relation] : relations_) n += relation.size();
+  return n;
+}
+
+bool Database::operator==(const Database& other) const {
+  if (relations_.size() != other.relations_.size()) return false;
+  for (const auto& [name, relation] : relations_) {
+    auto it = other.relations_.find(name);
+    if (it == other.relations_.end()) return false;
+    if (!(relation.schema() == it->second.schema())) return false;
+    if (relation.tuples() != it->second.tuples()) return false;
+  }
+  return true;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const auto& [name, relation] : relations_) out += relation.ToString();
+  return out;
+}
+
+}  // namespace p2pdb::rel

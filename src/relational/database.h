@@ -1,0 +1,50 @@
+// Database: the local database (LDB) of one node — a catalog of relations.
+#ifndef P2PDB_RELATIONAL_DATABASE_H_
+#define P2PDB_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/relational/relation.h"
+#include "src/util/status.h"
+
+namespace p2pdb::rel {
+
+/// One node's local database. Relation names are unique within a node; the
+/// paper keeps node signatures disjoint except for shared constants, so
+/// relation names never clash across nodes.
+class Database {
+ public:
+  /// Registers an empty relation. Fails if the name already exists.
+  Status CreateRelation(RelationSchema schema);
+
+  bool HasRelation(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+
+  Result<const Relation*> Get(const std::string& name) const;
+  Result<Relation*> GetMutable(const std::string& name);
+
+  /// Convenience: inserts into a named relation; true if the tuple was new.
+  Result<bool> Insert(const std::string& relation, Tuple tuple);
+
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+
+  /// Total number of tuples across all relations.
+  size_t TotalTuples() const;
+
+  /// Deep equality (same relations, same tuple sets).
+  bool operator==(const Database& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace p2pdb::rel
+
+#endif  // P2PDB_RELATIONAL_DATABASE_H_

@@ -1,0 +1,130 @@
+#include "src/relational/null_iso.h"
+
+#include <map>
+#include <vector>
+
+namespace p2pdb::rel {
+
+namespace {
+
+// One relational fact as (relation name, tuple), flattened for matching.
+struct Fact {
+  const std::string* relation;
+  const Tuple* tuple;
+};
+
+std::vector<Fact> Flatten(const Database& db, bool nulls_only) {
+  std::vector<Fact> out;
+  for (const auto& [name, relation] : db.relations()) {
+    for (const Tuple& t : relation.tuples()) {
+      if (!nulls_only || t.HasNull()) out.push_back(Fact{&name, &t});
+    }
+  }
+  return out;
+}
+
+// Tries to map fact `f` onto some fact of `candidates` consistently with
+// `mapping` (injective when `injective`). Recursion over the facts of `a`.
+bool MatchFacts(const std::vector<Fact>& a_facts, size_t index,
+                const Database& b, std::map<uint64_t, Value>* mapping,
+                std::map<Value, uint64_t>* reverse, bool injective) {
+  if (index == a_facts.size()) return true;
+  const Fact& f = a_facts[index];
+  auto rel = b.Get(*f.relation);
+  if (!rel.ok()) return false;
+  for (const Tuple& candidate : (*rel)->tuples()) {
+    if (candidate.arity() != f.tuple->arity()) continue;
+    // Try to extend the mapping so f.tuple -> candidate.
+    std::vector<uint64_t> added;
+    std::vector<Value> added_rev;
+    bool ok = true;
+    for (size_t i = 0; i < f.tuple->arity(); ++i) {
+      const Value& av = f.tuple->at(i);
+      const Value& bv = candidate.at(i);
+      if (!av.is_null()) {
+        if (!(av == bv)) {
+          ok = false;
+          break;
+        }
+        continue;
+      }
+      auto it = mapping->find(av.null_id());
+      if (it != mapping->end()) {
+        if (!(it->second == bv)) {
+          ok = false;
+          break;
+        }
+        continue;
+      }
+      if (injective) {
+        if (!bv.is_null() || reverse->count(bv)) {
+          ok = false;
+          break;
+        }
+        reverse->emplace(bv, av.null_id());
+        added_rev.push_back(bv);
+      }
+      mapping->emplace(av.null_id(), bv);
+      added.push_back(av.null_id());
+    }
+    if (ok && MatchFacts(a_facts, index + 1, b, mapping, reverse, injective)) {
+      return true;
+    }
+    for (uint64_t id : added) mapping->erase(id);
+    for (const Value& v : added_rev) reverse->erase(v);
+  }
+  return false;
+}
+
+bool NullFactsMapInto(const Database& a, const Database& b, bool injective) {
+  std::vector<Fact> a_null_facts = Flatten(a, /*nulls_only=*/true);
+  std::map<uint64_t, Value> mapping;
+  std::map<Value, uint64_t> reverse;
+  return MatchFacts(a_null_facts, 0, b, &mapping, &reverse, injective);
+}
+
+}  // namespace
+
+bool DatabasesIsomorphic(const Database& a, const Database& b) {
+  // Structural preconditions: same relations and cardinalities, identical
+  // certain parts.
+  if (a.relations().size() != b.relations().size()) return false;
+  for (const auto& [name, relation] : a.relations()) {
+    auto other = b.Get(name);
+    if (!other.ok()) return false;
+    if (relation.size() != (*other)->size()) return false;
+    if (relation.CertainTuples() != (*other)->CertainTuples()) return false;
+  }
+  // Injective mapping in both directions suffices given equal cardinalities.
+  return NullFactsMapInto(a, b, /*injective=*/true) &&
+         NullFactsMapInto(b, a, /*injective=*/true);
+}
+
+bool DatabasesCertainEqual(const Database& a, const Database& b) {
+  if (a.relations().size() != b.relations().size()) return false;
+  for (const auto& [name, relation] : a.relations()) {
+    auto other = b.Get(name);
+    if (!other.ok()) return false;
+    if (relation.CertainTuples() != (*other)->CertainTuples()) return false;
+  }
+  return true;
+}
+
+bool DatabaseHomomorphicallyContained(const Database& sub,
+                                      const Database& sup) {
+  for (const auto& [name, relation] : sub.relations()) {
+    auto other = sup.Get(name);
+    if (!other.ok()) return false;
+    // Certain tuples must be present verbatim.
+    for (const Tuple& t : relation.CertainTuples()) {
+      if (!(*other)->Contains(t)) return false;
+    }
+  }
+  std::vector<Fact> null_facts = Flatten(sub, /*nulls_only=*/true);
+  std::map<uint64_t, Value> mapping;
+  std::map<Value, uint64_t> reverse;
+  return MatchFacts(null_facts, 0, sup, &mapping, &reverse,
+                    /*injective=*/false);
+}
+
+}  // namespace p2pdb::rel

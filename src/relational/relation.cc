@@ -1,0 +1,62 @@
+#include "src/relational/relation.h"
+
+#include "src/util/string_util.h"
+
+namespace p2pdb::rel {
+
+Result<bool> Relation::Insert(Tuple tuple) {
+  if (tuple.arity() != schema_.arity()) {
+    return Status::InvalidArgument(
+        StrFormat("arity mismatch inserting into %s: got %zu, want %zu",
+                  schema_.name().c_str(), tuple.arity(), schema_.arity()));
+  }
+  auto [it, added] = tuples_.insert(std::move(tuple));
+  if (added) {
+    // Keep live indexes fresh incrementally: rebuilding on every insert would
+    // make chase loops quadratic.
+    bool indexes_were_fresh = indexed_version_ == version_;
+    ++version_;
+    if (indexes_were_fresh && !indexes_.empty()) {
+      for (auto& [column, index] : indexes_) {
+        if (column < it->arity()) index.emplace(it->at(column), &*it);
+      }
+      indexed_version_ = version_;
+    }
+  }
+  return added;
+}
+
+const Relation::ColumnIndex& Relation::IndexOn(size_t column) const {
+  if (indexed_version_ != version_) {
+    indexes_.clear();
+    indexed_version_ = version_;
+  }
+  auto it = indexes_.find(column);
+  if (it == indexes_.end()) {
+    ColumnIndex index;
+    for (const Tuple& t : tuples_) {
+      if (column < t.arity()) index.emplace(t.at(column), &t);
+    }
+    it = indexes_.emplace(column, std::move(index)).first;
+  }
+  return it->second;
+}
+
+std::set<Tuple> Relation::CertainTuples() const {
+  std::set<Tuple> out;
+  for (const Tuple& t : tuples_) {
+    if (!t.HasNull()) out.insert(t);
+  }
+  return out;
+}
+
+std::string Relation::ToString() const {
+  std::string out = schema_.ToString() + " {" +
+                    std::to_string(tuples_.size()) + " tuples}\n";
+  for (const Tuple& t : tuples_) {
+    out += "  " + t.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace p2pdb::rel

@@ -1,0 +1,71 @@
+// Relation: a schema plus a set of tuples (set semantics, as in the paper).
+#ifndef P2PDB_RELATIONAL_RELATION_H_
+#define P2PDB_RELATIONAL_RELATION_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/relational/schema.h"
+#include "src/relational/tuple.h"
+#include "src/util/status.h"
+
+namespace p2pdb::rel {
+
+/// An extensional relation instance. Tuples are kept in a sorted set so that
+/// iteration, printing and comparison are deterministic.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts a tuple; returns true if it was new. Fails on arity mismatch.
+  Result<bool> Insert(Tuple tuple);
+
+  bool Contains(const Tuple& tuple) const { return tuples_.count(tuple) > 0; }
+
+  /// Removes a tuple; returns true if present.
+  bool Erase(const Tuple& tuple) {
+    bool removed = tuples_.erase(tuple) > 0;
+    if (removed) ++version_;
+    return removed;
+  }
+
+  void Clear() {
+    tuples_.clear();
+    ++version_;
+  }
+
+  const std::set<Tuple>& tuples() const { return tuples_; }
+
+  /// Tuples containing no labeled null (the "certain" part of the instance).
+  std::set<Tuple> CertainTuples() const;
+
+  /// Lazy hash index: value at `column` -> tuples. Built on first use and
+  /// invalidated by any mutation; lets the evaluator turn nested-loop joins
+  /// into index lookups. Pointers remain valid while the relation is unchanged
+  /// (tuples_ is node-based).
+  using ColumnIndex = std::multimap<Value, const Tuple*>;
+  const ColumnIndex& IndexOn(size_t column) const;
+
+  /// Monotone mutation counter; lets callers cheaply detect change.
+  uint64_t version() const { return version_; }
+
+  /// Multi-line listing for debugging / example output.
+  std::string ToString() const;
+
+ private:
+  RelationSchema schema_;
+  std::set<Tuple> tuples_;
+  mutable uint64_t indexed_version_ = 0;
+  uint64_t version_ = 1;
+  mutable std::map<size_t, ColumnIndex> indexes_;
+};
+
+}  // namespace p2pdb::rel
+
+#endif  // P2PDB_RELATIONAL_RELATION_H_

@@ -1,0 +1,18 @@
+#include "src/relational/schema.h"
+
+#include "src/util/string_util.h"
+
+namespace p2pdb::rel {
+
+Result<size_t> RelationSchema::AttributeIndex(const std::string& attr) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] == attr) return i;
+  }
+  return Status::NotFound("attribute " + attr + " in relation " + name_);
+}
+
+std::string RelationSchema::ToString() const {
+  return name_ + "(" + JoinStrings(attributes_, ", ") + ")";
+}
+
+}  // namespace p2pdb::rel

@@ -1,0 +1,94 @@
+#include "src/relational/snapshot.h"
+
+#include <cstdio>
+
+#include "src/relational/codec.h"
+
+namespace p2pdb::rel {
+
+namespace {
+constexpr uint32_t kMagic = 0x42443250;  // "P2DB" little-endian.
+constexpr uint32_t kFormatVersion = 1;
+}  // namespace
+
+std::vector<uint8_t> SerializeDatabase(const Database& db) {
+  Writer w;
+  w.PutU32(kMagic);
+  w.PutU32(kFormatVersion);
+  w.PutVarint(db.relations().size());
+  for (const auto& [name, relation] : db.relations()) {
+    w.PutString(name);
+    const RelationSchema& schema = relation.schema();
+    w.PutVarint(schema.arity());
+    for (const std::string& attr : schema.attributes()) w.PutString(attr);
+    EncodeTupleSet(relation.tuples(), &w);
+  }
+  return w.bytes();
+}
+
+Result<Database> DeserializeDatabase(const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  auto magic = r.GetU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kMagic) return Status::ParseError("not a p2pdb snapshot");
+  auto version = r.GetU32();
+  if (!version.ok()) return version.status();
+  if (*version != kFormatVersion) {
+    return Status::Unsupported("snapshot format version " +
+                               std::to_string(*version));
+  }
+  auto relation_count = r.GetVarint();
+  if (!relation_count.ok()) return relation_count.status();
+
+  Database db;
+  for (uint64_t i = 0; i < *relation_count; ++i) {
+    auto name = r.GetString();
+    if (!name.ok()) return name.status();
+    std::string rel_name = *name;
+    auto arity = r.GetVarint();
+    if (!arity.ok()) return arity.status();
+    std::vector<std::string> attrs;
+    for (uint64_t k = 0; k < *arity; ++k) {
+      auto attr = r.GetString();
+      if (!attr.ok()) return attr.status();
+      attrs.push_back(std::move(*attr));
+    }
+    P2PDB_RETURN_IF_ERROR(
+        db.CreateRelation(RelationSchema(rel_name, std::move(attrs))));
+    auto tuples = DecodeTupleSet(&r);
+    if (!tuples.ok()) return tuples.status();
+    Relation* relation = *db.GetMutable(rel_name);
+    for (const Tuple& t : *tuples) {
+      P2PDB_RETURN_IF_ERROR(relation->Insert(t).status());
+    }
+  }
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes in snapshot");
+  return db;
+}
+
+Status SaveDatabase(const Database& db, const std::string& path) {
+  std::vector<uint8_t> bytes = SerializeDatabase(db);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != bytes.size() || close_rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<Database> LoadDatabase(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::vector<uint8_t> bytes;
+  uint8_t buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  std::fclose(f);
+  return DeserializeDatabase(bytes);
+}
+
+}  // namespace p2pdb::rel

@@ -1,0 +1,51 @@
+// Tuple: an ordered list of values with set-semantics comparison.
+#ifndef P2PDB_RELATIONAL_TUPLE_H_
+#define P2PDB_RELATIONAL_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/relational/value.h"
+
+namespace p2pdb::rel {
+
+/// A database tuple. Ordered lexicographically so relations iterate
+/// deterministically.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t arity() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+  std::vector<Value>* mutable_values() { return &values_; }
+
+  /// True if any component is a labeled null.
+  bool HasNull() const;
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  bool operator<(const Tuple& other) const;
+
+  size_t Hash() const;
+
+  /// "(v1, v2, ...)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace p2pdb::rel
+
+namespace std {
+template <>
+struct hash<p2pdb::rel::Tuple> {
+  size_t operator()(const p2pdb::rel::Tuple& t) const { return t.Hash(); }
+};
+}  // namespace std
+
+#endif  // P2PDB_RELATIONAL_TUPLE_H_

@@ -1,0 +1,18 @@
+// Network-wide identifier types.
+#ifndef P2PDB_UTIL_IDS_H_
+#define P2PDB_UTIL_IDS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace p2pdb {
+
+/// Identifier of a node (peer) in the P2P system, unique in the network.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace p2pdb
+
+#endif  // P2PDB_UTIL_IDS_H_

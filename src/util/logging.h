@@ -1,0 +1,45 @@
+// Minimal leveled logger with a process-wide threshold.
+#ifndef P2PDB_UTIL_LOGGING_H_
+#define P2PDB_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace p2pdb {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4,
+                      kOff = 5 };
+
+/// Sets the global minimum level that will be emitted (default kWarn).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace p2pdb
+
+#define P2PDB_LOG(level)                                                   \
+  if (static_cast<int>(::p2pdb::LogLevel::level) <                         \
+      static_cast<int>(::p2pdb::GetLogLevel())) {                          \
+  } else                                                                   \
+    ::p2pdb::internal::LogMessage(::p2pdb::LogLevel::level, __FILE__,      \
+                                  __LINE__)                                \
+        .stream()
+
+#endif  // P2PDB_UTIL_LOGGING_H_

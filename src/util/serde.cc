@@ -1,0 +1,86 @@
+#include "src/util/serde.h"
+
+namespace p2pdb {
+
+void Writer::PutU8(uint8_t v) { bytes_.push_back(v); }
+
+void Writer::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Writer::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Writer::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<uint8_t>(v));
+}
+
+void Writer::PutI64(int64_t v) {
+  uint64_t zz = (static_cast<uint64_t>(v) << 1) ^
+                static_cast<uint64_t>(v >> 63);
+  PutVarint(zz);
+}
+
+void Writer::PutString(std::string_view s) {
+  PutVarint(s.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+Result<uint8_t> Reader::GetU8() {
+  if (pos_ + 1 > size_) return Status::OutOfRange("GetU8 past end");
+  return data_[pos_++];
+}
+
+Result<uint32_t> Reader::GetU32() {
+  if (pos_ + 4 > size_) return Status::OutOfRange("GetU32 past end");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Reader::GetU64() {
+  if (pos_ + 8 > size_) return Status::OutOfRange("GetU64 past end");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Result<uint64_t> Reader::GetVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= size_) return Status::OutOfRange("GetVarint past end");
+    if (shift > 63) return Status::ParseError("varint too long");
+    uint8_t b = data_[pos_++];
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+Result<int64_t> Reader::GetI64() {
+  auto zz = GetVarint();
+  if (!zz.ok()) return zz.status();
+  uint64_t u = *zz;
+  return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+Result<std::string> Reader::GetString() {
+  auto len = GetVarint();
+  if (!len.ok()) return len.status();
+  if (pos_ + *len > size_) return Status::OutOfRange("GetString past end");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<size_t>(*len));
+  pos_ += static_cast<size_t>(*len);
+  return s;
+}
+
+}  // namespace p2pdb

@@ -1,0 +1,62 @@
+// Binary serialization used to measure the on-wire size of protocol messages
+// (the paper's statistics module reports "volumes of data transferred onto
+// pipes"); also exercised by tests as a round-trip invariant.
+#ifndef P2PDB_UTIL_SERDE_H_
+#define P2PDB_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace p2pdb {
+
+/// Appends little-endian/varint-encoded primitives to a byte buffer.
+class Writer {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Unsigned LEB128.
+  void PutVarint(uint64_t v);
+  /// Zig-zag + varint for signed values.
+  void PutI64(int64_t v);
+  /// Length-prefixed bytes.
+  void PutString(std::string_view s);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Reads values written by Writer, with bounds checking.
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<uint64_t> GetVarint();
+  Result<int64_t> GetI64();
+  Result<std::string> GetString();
+
+  /// True when all bytes have been consumed.
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace p2pdb
+
+#endif  // P2PDB_UTIL_SERDE_H_

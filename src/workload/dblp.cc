@@ -1,0 +1,106 @@
+#include "src/workload/dblp.h"
+
+#include "src/util/string_util.h"
+
+namespace p2pdb::workload {
+
+const char* SchemaStyleName(SchemaStyle style) {
+  switch (style) {
+    case SchemaStyle::kArticle:
+      return "article";
+    case SchemaStyle::kPubWrote:
+      return "pub-wrote";
+    case SchemaStyle::kRec:
+      return "rec";
+  }
+  return "?";
+}
+
+SchemaStyle StyleForNode(NodeId node) {
+  return static_cast<SchemaStyle>(node % 3);
+}
+
+std::vector<PubRecord> GeneratePubs(int64_t first_id, size_t count,
+                                    size_t author_pool, Rng* rng) {
+  std::vector<PubRecord> out;
+  out.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    PubRecord rec;
+    rec.id = first_id + static_cast<int64_t>(k);
+    rec.title = StrFormat("title-%lld", static_cast<long long>(rec.id));
+    rec.author = StrFormat(
+        "author-%llu",
+        static_cast<unsigned long long>(rng->NextBelow(author_pool)));
+    rec.year = 1990 + static_cast<int64_t>(rng->NextBelow(15));
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::string NodeRelationName(NodeId node, const std::string& base) {
+  return StrFormat("n%u_%s", node, base.c_str());
+}
+
+rel::Database MakeNodeSchema(NodeId node, SchemaStyle style) {
+  rel::Database db;
+  switch (style) {
+    case SchemaStyle::kArticle:
+      (void)db.CreateRelation(rel::RelationSchema(
+          NodeRelationName(node, "art"), {"id", "title", "author", "year"}));
+      break;
+    case SchemaStyle::kPubWrote:
+      (void)db.CreateRelation(rel::RelationSchema(
+          NodeRelationName(node, "pub"), {"id", "title", "year"}));
+      (void)db.CreateRelation(rel::RelationSchema(
+          NodeRelationName(node, "wrote"), {"author", "id"}));
+      break;
+    case SchemaStyle::kRec:
+      (void)db.CreateRelation(rel::RelationSchema(
+          NodeRelationName(node, "rec"), {"author", "title"}));
+      break;
+  }
+  return db;
+}
+
+Status InsertRecords(rel::Database* db, NodeId node, SchemaStyle style,
+                     const std::vector<PubRecord>& records) {
+  for (const PubRecord& r : records) {
+    switch (style) {
+      case SchemaStyle::kArticle: {
+        P2PDB_RETURN_IF_ERROR(
+            db->Insert(NodeRelationName(node, "art"),
+                       rel::Tuple({rel::Value::Int(r.id),
+                                   rel::Value::Str(r.title),
+                                   rel::Value::Str(r.author),
+                                   rel::Value::Int(r.year)}))
+                .status());
+        break;
+      }
+      case SchemaStyle::kPubWrote: {
+        P2PDB_RETURN_IF_ERROR(
+            db->Insert(NodeRelationName(node, "pub"),
+                       rel::Tuple({rel::Value::Int(r.id),
+                                   rel::Value::Str(r.title),
+                                   rel::Value::Int(r.year)}))
+                .status());
+        P2PDB_RETURN_IF_ERROR(
+            db->Insert(NodeRelationName(node, "wrote"),
+                       rel::Tuple({rel::Value::Str(r.author),
+                                   rel::Value::Int(r.id)}))
+                .status());
+        break;
+      }
+      case SchemaStyle::kRec: {
+        P2PDB_RETURN_IF_ERROR(
+            db->Insert(NodeRelationName(node, "rec"),
+                       rel::Tuple({rel::Value::Str(r.author),
+                                   rel::Value::Str(r.title)}))
+                .status());
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace p2pdb::workload

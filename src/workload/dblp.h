@@ -1,0 +1,60 @@
+// Synthetic DBLP-like publication data. The paper's experiments use ~20000
+// publication records from the DBLP XML dump, ~1000 per node, organised in 3
+// different relational schemas; this generator produces records with the same
+// structure (publication id, title, author, year) deterministically from a
+// seed, and materializes them under one of three schema styles.
+//
+// Relation names are prefixed with the node name ("n<id>_") because node
+// signatures must be pairwise disjoint (Definition 1); shared constants
+// (author names, titles, ids) play the role of URIs.
+#ifndef P2PDB_WORKLOAD_DBLP_H_
+#define P2PDB_WORKLOAD_DBLP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/relational/database.h"
+#include "src/util/ids.h"
+#include "src/util/rng.h"
+
+namespace p2pdb::workload {
+
+/// One publication record (the unit of data exchange).
+struct PubRecord {
+  int64_t id = 0;
+  std::string title;
+  std::string author;
+  int64_t year = 0;
+};
+
+/// The three relational schemas of the experiment.
+enum class SchemaStyle {
+  /// art(id, title, author, year) — one wide relation.
+  kArticle = 0,
+  /// pub(id, title, year) + wrote(author, id) — normalized.
+  kPubWrote = 1,
+  /// rec(author, title) — lossy author-title pairs.
+  kRec = 2,
+};
+
+const char* SchemaStyleName(SchemaStyle style);
+SchemaStyle StyleForNode(NodeId node);
+
+/// Deterministically generates `count` records starting at global id
+/// `first_id`, drawing authors from a pool of `author_pool` names.
+std::vector<PubRecord> GeneratePubs(int64_t first_id, size_t count,
+                                    size_t author_pool, Rng* rng);
+
+/// Relation name for a style's relations at a node ("n3_art", "n3_pub", ...).
+std::string NodeRelationName(NodeId node, const std::string& base);
+
+/// Creates the node's schema (empty relations) for a style.
+rel::Database MakeNodeSchema(NodeId node, SchemaStyle style);
+
+/// Inserts records into a node database laid out per its style.
+Status InsertRecords(rel::Database* db, NodeId node, SchemaStyle style,
+                     const std::vector<PubRecord>& records);
+
+}  // namespace p2pdb::workload
+
+#endif  // P2PDB_WORKLOAD_DBLP_H_

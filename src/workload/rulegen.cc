@@ -1,0 +1,63 @@
+#include "src/workload/rulegen.h"
+
+namespace p2pdb::workload {
+
+namespace {
+
+rel::Term V(const char* name) { return rel::Term::Var(name); }
+
+rel::Atom MakeAtom(NodeId node, const char* base,
+                   std::vector<rel::Term> terms) {
+  rel::Atom a;
+  a.relation = NodeRelationName(node, base);
+  a.terms = std::move(terms);
+  return a;
+}
+
+// Body atoms exposing (I, T, A, Y) as available for the style; kRec binds
+// only (A, T).
+std::vector<rel::Atom> BodyAtoms(NodeId node, SchemaStyle style) {
+  switch (style) {
+    case SchemaStyle::kArticle:
+      return {MakeAtom(node, "art", {V("I"), V("T"), V("A"), V("Y")})};
+    case SchemaStyle::kPubWrote:
+      return {MakeAtom(node, "pub", {V("I"), V("T"), V("Y")}),
+              MakeAtom(node, "wrote", {V("A"), V("I")})};
+    case SchemaStyle::kRec:
+      return {MakeAtom(node, "rec", {V("A"), V("T")})};
+  }
+  return {};
+}
+
+// Head atoms for the style. When the body is kRec, I and Y are unbound and
+// become existential variables (fresh labeled nulls at update time).
+std::vector<rel::Atom> HeadAtoms(NodeId node, SchemaStyle style) {
+  switch (style) {
+    case SchemaStyle::kArticle:
+      return {MakeAtom(node, "art", {V("I"), V("T"), V("A"), V("Y")})};
+    case SchemaStyle::kPubWrote:
+      return {MakeAtom(node, "pub", {V("I"), V("T"), V("Y")}),
+              MakeAtom(node, "wrote", {V("A"), V("I")})};
+    case SchemaStyle::kRec:
+      return {MakeAtom(node, "rec", {V("A"), V("T")})};
+  }
+  return {};
+}
+
+}  // namespace
+
+core::CoordinationRule MakeTranslationRule(std::string rule_id, NodeId head,
+                                           SchemaStyle head_style, NodeId body,
+                                           SchemaStyle body_style) {
+  core::CoordinationRule rule;
+  rule.id = std::move(rule_id);
+  rule.head_node = head;
+  rule.head_atoms = HeadAtoms(head, head_style);
+  core::CoordinationRule::BodyPart part;
+  part.node = body;
+  part.atoms = BodyAtoms(body, body_style);
+  rule.body.push_back(std::move(part));
+  return rule;
+}
+
+}  // namespace p2pdb::workload

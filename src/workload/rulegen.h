@@ -1,0 +1,25 @@
+// Coordination-rule generation between heterogeneous node schemas: for a
+// dependency edge head -> body, emit the rule that translates the body node's
+// publications into the head node's schema. The rec -> {article, pub-wrote}
+// directions require existential head variables (unknown ids and years),
+// exercising the algorithm's labeled-null machinery; article <-> pub-wrote
+// use conjunctive heads/bodies.
+#ifndef P2PDB_WORKLOAD_RULEGEN_H_
+#define P2PDB_WORKLOAD_RULEGEN_H_
+
+#include <string>
+
+#include "src/core/system.h"
+#include "src/workload/dblp.h"
+
+namespace p2pdb::workload {
+
+/// Builds the translation rule for dependency edge head -> body (data flows
+/// body -> head). `rule_id` must be unique network-wide.
+core::CoordinationRule MakeTranslationRule(std::string rule_id, NodeId head,
+                                           SchemaStyle head_style, NodeId body,
+                                           SchemaStyle body_style);
+
+}  // namespace p2pdb::workload
+
+#endif  // P2PDB_WORKLOAD_RULEGEN_H_

@@ -1,0 +1,38 @@
+// Scenario builder: assembles a full P2P system (topology + schemas + data +
+// coordination rules) for the experiments of Section 5, plus the paper's
+// Section-2 running example.
+#ifndef P2PDB_WORKLOAD_SCENARIO_H_
+#define P2PDB_WORKLOAD_SCENARIO_H_
+
+#include "src/core/system.h"
+#include "src/workload/dblp.h"
+#include "src/workload/topology.h"
+
+namespace p2pdb::workload {
+
+struct ScenarioOptions {
+  TopologySpec topology;
+  /// "about 1000 per node" in the paper.
+  size_t records_per_node = 1000;
+  /// Probability that two nodes linked by a coordination rule share data
+  /// (first distribution: 0; second distribution: 0.5).
+  double link_overlap_prob = 0.0;
+  /// Fraction of the body node's records copied to the head when they do.
+  double overlap_fraction = 0.5;
+  size_t author_pool = 200;
+  uint64_t seed = 7;
+};
+
+/// Builds nodes (3 schema styles round-robin), deterministic publication data
+/// with the requested overlap distribution, and one translation rule per
+/// dependency edge.
+Result<core::P2PSystem> BuildScenario(const ScenarioOptions& options);
+
+/// The running example of Section 2: nodes A..E, relations a, b, c, f, d, e,
+/// rules r1..r7, plus a few seed facts at E (source) and B so that an update
+/// has data to move.
+Result<core::P2PSystem> MakeRunningExample();
+
+}  // namespace p2pdb::workload
+
+#endif  // P2PDB_WORKLOAD_SCENARIO_H_

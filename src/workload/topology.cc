@@ -1,0 +1,117 @@
+#include "src/workload/topology.h"
+
+#include "src/core/dependency.h"
+#include "src/util/rng.h"
+
+namespace p2pdb::workload {
+
+Result<std::vector<Edge>> GenerateTopology(const TopologySpec& spec) {
+  if (spec.nodes < 2) {
+    return Status::InvalidArgument("topology needs at least 2 nodes");
+  }
+  std::vector<Edge> edges;
+  Rng rng(spec.seed);
+  switch (spec.kind) {
+    case TopologySpec::Kind::kTree: {
+      if (spec.fanout == 0) return Status::InvalidArgument("fanout 0");
+      for (NodeId child = 1; child < spec.nodes; ++child) {
+        NodeId parent = (child - 1) / spec.fanout;
+        edges.push_back({parent, child});
+      }
+      break;
+    }
+    case TopologySpec::Kind::kChain: {
+      for (NodeId n = 0; n + 1 < spec.nodes; ++n) edges.push_back({n, n + 1});
+      break;
+    }
+    case TopologySpec::Kind::kRing: {
+      for (NodeId n = 0; n + 1 < spec.nodes; ++n) edges.push_back({n, n + 1});
+      edges.push_back({static_cast<NodeId>(spec.nodes - 1), 0});
+      break;
+    }
+    case TopologySpec::Kind::kClique: {
+      for (NodeId a = 0; a < spec.nodes; ++a) {
+        for (NodeId b = 0; b < spec.nodes; ++b) {
+          if (a != b) edges.push_back({a, b});
+        }
+      }
+      break;
+    }
+    case TopologySpec::Kind::kLayeredDag: {
+      if (spec.layers < 2) return Status::InvalidArgument("need >= 2 layers");
+      // Layer 0 = {0}; remaining nodes split evenly over layers 1..L-1.
+      std::vector<std::vector<NodeId>> layers(spec.layers);
+      layers[0].push_back(0);
+      size_t remaining = spec.nodes - 1;
+      size_t per_layer = remaining / (spec.layers - 1);
+      size_t extra = remaining % (spec.layers - 1);
+      NodeId next = 1;
+      for (size_t l = 1; l < spec.layers; ++l) {
+        size_t width = per_layer + (l <= extra ? 1 : 0);
+        for (size_t k = 0; k < width && next < spec.nodes; ++k) {
+          layers[l].push_back(next++);
+        }
+      }
+      std::set<Edge> edge_set;
+      for (size_t l = 0; l + 1 < spec.layers; ++l) {
+        if (layers[l + 1].empty()) break;
+        // Reachability spine: every next-layer node has an incoming edge.
+        for (size_t k = 0; k < layers[l + 1].size(); ++k) {
+          NodeId head = layers[l][k % layers[l].size()];
+          edge_set.insert({head, layers[l + 1][k]});
+        }
+        // Extra pulls per head node.
+        for (NodeId head : layers[l]) {
+          for (size_t d = 0; d < spec.layer_degree; ++d) {
+            NodeId body =
+                layers[l + 1][rng.NextBelow(layers[l + 1].size())];
+            edge_set.insert({head, body});
+          }
+        }
+      }
+      edges.assign(edge_set.begin(), edge_set.end());
+      break;
+    }
+    case TopologySpec::Kind::kRandom: {
+      std::set<Edge> edge_set;
+      // Spine from node 0 so every node participates in the update.
+      for (NodeId child = 1; child < spec.nodes; ++child) {
+        NodeId parent = static_cast<NodeId>(rng.NextBelow(child));
+        edge_set.insert({parent, child});
+      }
+      for (NodeId a = 0; a < spec.nodes; ++a) {
+        for (NodeId b = 0; b < spec.nodes; ++b) {
+          if (a != b && rng.NextBool(spec.edge_prob)) edge_set.insert({a, b});
+        }
+      }
+      edges.assign(edge_set.begin(), edge_set.end());
+      break;
+    }
+  }
+  return edges;
+}
+
+size_t TopologyDepth(const std::vector<Edge>& edges) {
+  std::set<core::Edge> set(edges.begin(), edges.end());
+  return core::DependencyGraph(set).DepthFrom(0);
+}
+
+const char* TopologyKindName(TopologySpec::Kind kind) {
+  switch (kind) {
+    case TopologySpec::Kind::kTree:
+      return "tree";
+    case TopologySpec::Kind::kLayeredDag:
+      return "layered-dag";
+    case TopologySpec::Kind::kClique:
+      return "clique";
+    case TopologySpec::Kind::kChain:
+      return "chain";
+    case TopologySpec::Kind::kRing:
+      return "ring";
+    case TopologySpec::Kind::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+}  // namespace p2pdb::workload

@@ -1,0 +1,46 @@
+// Topology generators for the experiment workloads: trees, layered acyclic
+// graphs and cliques (the three topologies of Section 5's experiments), plus
+// chains, rings and random graphs used by property tests. Edges are dependency
+// edges head -> body; node 0 is always the super-peer and can reach every
+// node, so a single global update covers the network.
+#ifndef P2PDB_WORKLOAD_TOPOLOGY_H_
+#define P2PDB_WORKLOAD_TOPOLOGY_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/util/ids.h"
+#include "src/util/status.h"
+
+namespace p2pdb::workload {
+
+using Edge = std::pair<NodeId, NodeId>;
+
+struct TopologySpec {
+  enum class Kind { kTree, kLayeredDag, kClique, kChain, kRing, kRandom };
+  Kind kind = Kind::kTree;
+  size_t nodes = 7;
+  /// Tree fan-out.
+  size_t fanout = 2;
+  /// Layered DAG: number of layers (node 0 is the single layer-0 node) and
+  /// how many next-layer sources each node pulls from.
+  size_t layers = 3;
+  size_t layer_degree = 2;
+  /// Random graph edge probability (on top of a reachability spine).
+  double edge_prob = 0.15;
+  uint64_t seed = 17;
+};
+
+/// Generates the dependency edge set for a spec. Node ids are 0..nodes-1.
+Result<std::vector<Edge>> GenerateTopology(const TopologySpec& spec);
+
+/// Longest simple dependency path length from node 0 (the experiment's
+/// "depth of the structure").
+size_t TopologyDepth(const std::vector<Edge>& edges);
+
+const char* TopologyKindName(TopologySpec::Kind kind);
+
+}  // namespace p2pdb::workload
+
+#endif  // P2PDB_WORKLOAD_TOPOLOGY_H_

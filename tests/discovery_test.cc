@@ -1,0 +1,197 @@
+#include "src/core/discovery.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/dependency.h"
+#include "src/core/session.h"
+#include "src/lang/parser.h"
+#include "src/net/sim_runtime.h"
+#include "src/workload/scenario.h"
+
+namespace p2pdb::core {
+namespace {
+
+using DiscoveryMode = Session::Options::DiscoveryMode;
+
+// Expected edges of the running example.
+std::set<wire::Edge> ExampleEdges() {
+  return {{1, 4}, {2, 1}, {1, 2}, {0, 1}, {2, 0}, {3, 0}, {2, 3}};
+}
+
+TEST(DiscoveryTest, SuperPeerModeInformsAllReachableNodes) {
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+  net::SimRuntime rt;
+  Session::Options options;
+  options.discovery = DiscoveryMode::kSuperPeer;
+  options.super_peer = 0;  // A reaches every node.
+  Session session(*system, &rt, options);
+  ASSERT_TRUE(session.RunDiscovery().ok());
+
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_EQ(session.peer(n).discovery().state(),
+              DiscoveryEngine::State::kClosed)
+        << "node " << n;
+  }
+  // Every node knows exactly the edges reachable from it.
+  DependencyGraph full(ExampleEdges());
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_EQ(session.peer(n).known_edges(),
+              full.ReachableSubgraph(n).edges())
+        << "node " << n;
+  }
+}
+
+TEST(DiscoveryTest, AllModeCoversNodesUnreachableFromSuperPeer) {
+  // Chain 0 -> 1 -> 2: starting from node 1 only informs {1, 2}; kAll informs
+  // every node.
+  const char* text = R"(
+node A { rel a(x); }
+node B { rel b(x); }
+node C { rel c(x); }
+rule r1: B.b(X) => A.a(X);
+rule r2: C.c(X) => B.b(X);
+)";
+  auto system = lang::ParseSystem(text);
+  ASSERT_TRUE(system.ok());
+
+  {
+    net::SimRuntime rt;
+    Session::Options options;
+    options.discovery = DiscoveryMode::kSuperPeer;
+    options.super_peer = 1;
+    Session session(*system, &rt, options);
+    ASSERT_TRUE(session.RunDiscovery().ok());
+    EXPECT_EQ(session.peer(0).discovery().state(),
+              DiscoveryEngine::State::kUndefined);
+    EXPECT_EQ(session.peer(1).discovery().state(),
+              DiscoveryEngine::State::kClosed);
+  }
+  {
+    net::SimRuntime rt;
+    Session::Options options;
+    options.discovery = DiscoveryMode::kAll;
+    Session session(*system, &rt, options);
+    ASSERT_TRUE(session.RunDiscovery().ok());
+    for (NodeId n = 0; n < 3; ++n) {
+      EXPECT_EQ(session.peer(n).discovery().state(),
+                DiscoveryEngine::State::kClosed);
+    }
+  }
+}
+
+TEST(DiscoveryTest, NodeWithNoRulesClosesImmediately) {
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+  net::SimRuntime rt;
+  Session session(*system, &rt);
+  // E (id 4) has no rules: Start is a local no-op closure.
+  session.peer(4).StartDiscovery();
+  EXPECT_EQ(session.peer(4).discovery().state(),
+            DiscoveryEngine::State::kClosed);
+  EXPECT_TRUE(session.peer(4).MaximalPaths().empty());
+  EXPECT_EQ(rt.stats().total_messages(), 0u);
+}
+
+TEST(DiscoveryTest, MaximalPathsMatchOfflineEnumeration) {
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+  net::SimRuntime rt;
+  Session session(*system, &rt);
+  ASSERT_TRUE(session.RunDiscovery().ok());
+
+  DependencyGraph full(ExampleEdges());
+  for (NodeId n = 0; n < 5; ++n) {
+    auto expected = full.MaximalPathsFrom(n);
+    auto got = session.peer(n).MaximalPaths();
+    std::set<std::vector<NodeId>> e(expected.begin(), expected.end());
+    std::set<std::vector<NodeId>> g(got.begin(), got.end());
+    EXPECT_EQ(e, g) << "node " << n;
+  }
+}
+
+TEST(DiscoveryTest, SccKnowledgeAfterDiscovery) {
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+  net::SimRuntime rt;
+  Session session(*system, &rt);
+  ASSERT_TRUE(session.RunDiscovery().ok());
+  EXPECT_EQ(session.peer(0).OwnScc(), (std::set<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(session.peer(2).OwnScc(), (std::set<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(session.peer(4).OwnScc(), (std::set<NodeId>{4}));
+}
+
+TEST(DiscoveryTest, EagerAnswersSameResultMoreBytes) {
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+
+  auto run = [&](bool eager) {
+    net::SimRuntime rt;
+    Session::Options options;
+    options.peer.eager_discovery_answers = eager;
+    Session session(*system, &rt, options);
+    EXPECT_TRUE(session.RunDiscovery().ok());
+    std::vector<std::set<wire::Edge>> knowledge;
+    for (NodeId n = 0; n < 5; ++n) {
+      knowledge.push_back(session.peer(n).known_edges());
+    }
+    return std::make_pair(knowledge, rt.stats().total_bytes());
+  };
+
+  auto [lazy_knowledge, lazy_bytes] = run(false);
+  auto [eager_knowledge, eager_bytes] = run(true);
+  EXPECT_EQ(lazy_knowledge, eager_knowledge);
+  EXPECT_GE(eager_bytes, lazy_bytes);
+}
+
+TEST(DiscoveryTest, CliqueDiscoveryTerminates) {
+  workload::ScenarioOptions options;
+  options.topology.kind = workload::TopologySpec::Kind::kClique;
+  options.topology.nodes = 6;
+  options.records_per_node = 1;
+  auto system = workload::BuildScenario(options);
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+  net::SimRuntime rt;
+  Session session(*system, &rt);
+  ASSERT_TRUE(session.RunDiscovery().ok());
+  for (NodeId n = 0; n < 6; ++n) {
+    EXPECT_EQ(session.peer(n).discovery().state(),
+              DiscoveryEngine::State::kClosed);
+    EXPECT_EQ(session.peer(n).OwnScc().size(), 6u);
+    EXPECT_EQ(session.peer(n).known_edges().size(), 30u);
+  }
+}
+
+class DiscoveryTopologySweep
+    : public ::testing::TestWithParam<workload::TopologySpec::Kind> {};
+
+TEST_P(DiscoveryTopologySweep, EveryNodeLearnsItsReachableSubgraph) {
+  workload::ScenarioOptions options;
+  options.topology.kind = GetParam();
+  options.topology.nodes = 9;
+  options.records_per_node = 1;
+  auto system = workload::BuildScenario(options);
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+  net::SimRuntime rt;
+  Session session(*system, &rt);
+  ASSERT_TRUE(session.RunDiscovery().ok());
+
+  DependencyGraph full = DependencyGraph::FromRules(system->rules());
+  for (NodeId n = 0; n < 9; ++n) {
+    EXPECT_EQ(session.peer(n).known_edges(),
+              full.ReachableSubgraph(n).edges())
+        << "node " << n << " in " << TopologyKindName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, DiscoveryTopologySweep,
+    ::testing::Values(workload::TopologySpec::Kind::kTree,
+                      workload::TopologySpec::Kind::kLayeredDag,
+                      workload::TopologySpec::Kind::kClique,
+                      workload::TopologySpec::Kind::kChain,
+                      workload::TopologySpec::Kind::kRing,
+                      workload::TopologySpec::Kind::kRandom));
+
+}  // namespace
+}  // namespace p2pdb::core

@@ -1,0 +1,60 @@
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace p2pdb {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, DefaultLevelIsWarn) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+}
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+                         LogLevel::kWarn, LogLevel::kError, LogLevel::kOff}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST(LoggingTest, SuppressedLevelsDoNotEvaluateStream) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "payload";
+  };
+  P2PDB_LOG(kDebug) << expensive();  // Below threshold: not evaluated.
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(LogLevel::kOff);
+  P2PDB_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(LoggingTest, EnabledLevelEvaluates) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "payload";
+  };
+  P2PDB_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace p2pdb

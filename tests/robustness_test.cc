@@ -1,0 +1,99 @@
+// Robustness: at-least-once delivery. The data-plane protocol is idempotent
+// by design (set-union answers, dedup-by-id joins and subscriptions), so
+// duplicated messages must not change results or prevent closure on acyclic
+// networks. (The SCC token ring assumes reliable exactly-once pipes, as the
+// paper's JXTA transport provides; cyclic topologies are excluded here.)
+#include <gtest/gtest.h>
+
+#include "src/core/global_fixpoint.h"
+#include "src/core/session.h"
+#include "src/net/sim_runtime.h"
+#include "src/relational/null_iso.h"
+#include "src/workload/scenario.h"
+
+namespace p2pdb::core {
+namespace {
+
+class DuplicationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DuplicationSweep, AcyclicUpdateUnaffectedByDuplicates) {
+  workload::ScenarioOptions options;
+  options.topology.kind = workload::TopologySpec::Kind::kTree;
+  options.topology.nodes = 10;
+  options.records_per_node = 10;
+  auto system = workload::BuildScenario(options);
+  ASSERT_TRUE(system.ok());
+
+  net::SimRuntime::Options sim;
+  sim.duplicate_prob = GetParam();
+  sim.seed = 77;
+  net::SimRuntime rt(sim);
+  Session::Options session_options;
+  session_options.peer.update.chase.policy =
+      rel::ChasePolicy::kHomomorphismCheck;
+  Session session(*system, &rt, session_options);
+  ASSERT_TRUE(session.RunDiscovery().ok());
+  ASSERT_TRUE(session.RunUpdate().ok());
+  ASSERT_TRUE(session.AllClosed());
+
+  rel::ChaseOptions chase;
+  chase.policy = rel::ChasePolicy::kHomomorphismCheck;
+  auto global = ComputeGlobalFixpoint(*system, chase);
+  ASSERT_TRUE(global.ok());
+  for (NodeId n : session.Participants()) {
+    EXPECT_TRUE(
+        rel::DatabasesCertainEqual(session.peer(n).db(), global->node_dbs[n]))
+        << "node " << n << " with duplicate_prob " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, DuplicationSweep,
+                         ::testing::Values(0.0, 0.1, 0.4, 0.9));
+
+TEST(RobustnessTest, DiscoveryToleratesDuplicates) {
+  workload::ScenarioOptions options;
+  options.topology.kind = workload::TopologySpec::Kind::kLayeredDag;
+  options.topology.nodes = 12;
+  options.topology.layers = 4;
+  options.records_per_node = 1;
+  auto system = workload::BuildScenario(options);
+  ASSERT_TRUE(system.ok());
+
+  auto run = [&](double dup) {
+    net::SimRuntime::Options sim;
+    sim.duplicate_prob = dup;
+    net::SimRuntime rt(sim);
+    Session session(*system, &rt);
+    EXPECT_TRUE(session.RunDiscovery().ok());
+    std::vector<std::set<wire::Edge>> knowledge;
+    for (size_t n = 0; n < session.peer_count(); ++n) {
+      knowledge.push_back(session.peer(n).known_edges());
+    }
+    return knowledge;
+  };
+  EXPECT_EQ(run(0.0), run(0.5));
+}
+
+TEST(RobustnessTest, DuplicatesCountedInStats) {
+  workload::ScenarioOptions options;
+  options.topology.kind = workload::TopologySpec::Kind::kChain;
+  options.topology.nodes = 5;
+  options.records_per_node = 3;
+  auto system = workload::BuildScenario(options);
+  ASSERT_TRUE(system.ok());
+
+  auto messages = [&](double dup) {
+    net::SimRuntime::Options sim;
+    sim.duplicate_prob = dup;
+    sim.seed = 5;
+    net::SimRuntime rt(sim);
+    Session session(*system, &rt);
+    EXPECT_TRUE(session.RunDiscovery().ok());
+    EXPECT_TRUE(session.RunUpdate().ok());
+    return rt.stats().total_messages();
+  };
+  EXPECT_GT(messages(0.9), messages(0.0));
+}
+
+}  // namespace
+}  // namespace p2pdb::core

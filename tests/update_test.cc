@@ -1,0 +1,261 @@
+#include "src/core/update.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/global_fixpoint.h"
+#include "src/core/session.h"
+#include "src/lang/parser.h"
+#include "src/net/sim_runtime.h"
+#include "src/net/thread_runtime.h"
+#include "src/relational/null_iso.h"
+#include "src/workload/scenario.h"
+
+namespace p2pdb::core {
+namespace {
+
+rel::Value S(const char* s) { return rel::Value::Str(s); }
+
+// Runs discovery + update over a SimRuntime and returns the session.
+std::unique_ptr<Session> RunFull(const P2PSystem& system, net::SimRuntime* rt,
+                                 Session::Options options = {}) {
+  auto session = std::make_unique<Session>(system, rt, options);
+  EXPECT_TRUE(session->RunDiscovery().ok());
+  EXPECT_TRUE(session->RunUpdate().ok());
+  return session;
+}
+
+// Distributed result must agree with the centralized fix-point on certain
+// tuples for every participating node.
+void ExpectMatchesGlobalFixpoint(const P2PSystem& system, Session* session) {
+  auto global = ComputeGlobalFixpoint(system, rel::ChaseOptions{});
+  ASSERT_TRUE(global.ok()) << global.status().ToString();
+  for (NodeId n : session->Participants()) {
+    EXPECT_TRUE(rel::DatabasesCertainEqual(session->peer(n).db(),
+                                           global->node_dbs[n]))
+        << "node " << n << "\ndistributed:\n"
+        << session->peer(n).db().ToString() << "\nglobal:\n"
+        << global->node_dbs[n].ToString();
+  }
+}
+
+TEST(UpdateTest, ChainPropagatesToRoot) {
+  const char* text = R"(
+node A { rel a(x); }
+node B { rel b(x); }
+node C { rel c(x); fact c("v1"); fact c("v2"); }
+rule r1: B.b(X) => A.a(X);
+rule r2: C.c(X) => B.b(X);
+)";
+  auto system = lang::ParseSystem(text);
+  ASSERT_TRUE(system.ok());
+  net::SimRuntime rt;
+  auto session = RunFull(*system, &rt);
+  ASSERT_TRUE(session->AllClosed());
+  const rel::Relation* a = *session->peer(0).db().Get("a");
+  EXPECT_EQ(a->size(), 2u);
+  EXPECT_TRUE(a->Contains(rel::Tuple({S("v1")})));
+  ExpectMatchesGlobalFixpoint(*system, session.get());
+}
+
+TEST(UpdateTest, LeafNodesCloseImmediately) {
+  const char* text = R"(
+node A { rel a(x); }
+node B { rel b(x); fact b("v"); }
+rule r1: B.b(X) => A.a(X);
+)";
+  auto system = lang::ParseSystem(text);
+  ASSERT_TRUE(system.ok());
+  net::SimRuntime rt;
+  auto session = RunFull(*system, &rt);
+  EXPECT_EQ(session->peer(1).update().state(), UpdateEngine::State::kClosed);
+  EXPECT_EQ(session->peer(0).update().state(), UpdateEngine::State::kClosed);
+}
+
+TEST(UpdateTest, TwoNodeCycleReachesFixpoint) {
+  const char* text = R"(
+node A { rel a(x); fact a("fromA"); }
+node B { rel b(x); fact b("fromB"); }
+rule r1: B.b(X) => A.a(X);
+rule r2: A.a(X) => B.b(X);
+)";
+  auto system = lang::ParseSystem(text);
+  ASSERT_TRUE(system.ok());
+  net::SimRuntime rt;
+  auto session = RunFull(*system, &rt);
+  ASSERT_TRUE(session->AllClosed());
+  for (NodeId n : {0u, 1u}) {
+    EXPECT_EQ(session->peer(n).db().TotalTuples(), 2u) << "node " << n;
+  }
+  ExpectMatchesGlobalFixpoint(*system, session.get());
+}
+
+TEST(UpdateTest, RunningExampleMatchesGlobalFixpoint) {
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+  net::SimRuntime rt;
+  auto session = RunFull(*system, &rt);
+  std::set<NodeId> open;
+  EXPECT_TRUE(session->AllClosed(&open)) << "open nodes: " << open.size();
+  ExpectMatchesGlobalFixpoint(*system, session.get());
+}
+
+TEST(UpdateTest, RunningExampleDataLandsEverywhere) {
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+  net::SimRuntime rt;
+  auto session = RunFull(*system, &rt);
+  // E's pairs reach B via r1; loops B->C->B close; A gets r4 output; D gets
+  // r6 output; C gets f(X) via r5.
+  EXPECT_GE((*session->peer(1).db().Get("b"))->size(), 3u);
+  EXPECT_GE((*session->peer(2).db().Get("c"))->size(), 1u);
+  EXPECT_GE((*session->peer(0).db().Get("a"))->size(), 1u);
+  EXPECT_GE((*session->peer(3).db().Get("d"))->size(), 1u);
+  EXPECT_GE((*session->peer(2).db().Get("f"))->size(), 1u);
+}
+
+TEST(UpdateTest, DeltaAndFullAnswersAgree) {
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+
+  net::SimRuntime rt_delta;
+  Session::Options delta_options;
+  delta_options.peer.update.delta_answers = true;
+  auto with_delta = RunFull(*system, &rt_delta, delta_options);
+
+  net::SimRuntime rt_full;
+  Session::Options full_options;
+  full_options.peer.update.delta_answers = false;
+  auto with_full = RunFull(*system, &rt_full, full_options);
+
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_TRUE(rel::DatabasesCertainEqual(with_delta->peer(n).db(),
+                                           with_full->peer(n).db()))
+        << "node " << n;
+  }
+  // The delta optimization can only reduce the bytes moved.
+  EXPECT_LE(rt_delta.stats().BytesOfType(net::MessageType::kQueryAnswer),
+            rt_full.stats().BytesOfType(net::MessageType::kQueryAnswer));
+}
+
+TEST(UpdateTest, MultiNodeBodyJoinsAcrossPeers) {
+  const char* text = R"(
+node L { rel l(k, v); fact l("k1", "x"); fact l("k2", "y"); }
+node R { rel r(k, w); fact r("k1", "p"); fact r("k3", "q"); }
+node T { rel t(v, w); }
+rule j: L.l(K, V), R.r(K, W) => T.t(V, W);
+)";
+  auto system = lang::ParseSystem(text);
+  ASSERT_TRUE(system.ok());
+  net::SimRuntime rt;
+  Session::Options options;
+  options.super_peer = 2;  // T is the head.
+  auto session = RunFull(*system, &rt, options);
+  ASSERT_TRUE(session->AllClosed());
+  const rel::Relation* t = *session->peer(2).db().Get("t");
+  ASSERT_EQ(t->size(), 1u);  // Only k1 joins.
+  EXPECT_TRUE(t->Contains(rel::Tuple({S("x"), S("p")})));
+}
+
+TEST(UpdateTest, CrossBuiltinFiltersJoin) {
+  const char* text = R"(
+node L { rel l(v); fact l(1); fact l(5); }
+node R { rel r(w); fact r(3); }
+node T { rel t(v, w); }
+rule j: L.l(V), R.r(W), V < W => T.t(V, W);
+)";
+  auto system = lang::ParseSystem(text);
+  ASSERT_TRUE(system.ok());
+  net::SimRuntime rt;
+  Session::Options options;
+  options.super_peer = 2;
+  auto session = RunFull(*system, &rt, options);
+  const rel::Relation* t = *session->peer(2).db().Get("t");
+  ASSERT_EQ(t->size(), 1u);
+  EXPECT_TRUE(
+      t->Contains(rel::Tuple({rel::Value::Int(1), rel::Value::Int(3)})));
+}
+
+TEST(UpdateTest, ExistentialRuleInventsWitnessOnce) {
+  const char* text = R"(
+node R { rel rec(a, t); fact rec("alice", "t1"); }
+node P { rel pub(i, t, y); rel wrote(a, i); }
+rule x: R.rec(A, T) => P.pub(I, T, Y), P.wrote(A, I);
+)";
+  auto system = lang::ParseSystem(text);
+  ASSERT_TRUE(system.ok());
+  net::SimRuntime rt;
+  Session::Options options;
+  options.super_peer = 1;
+  auto session = RunFull(*system, &rt, options);
+  ASSERT_TRUE(session->AllClosed());
+  const rel::Relation* pub = *session->peer(1).db().Get("pub");
+  const rel::Relation* wrote = *session->peer(1).db().Get("wrote");
+  ASSERT_EQ(pub->size(), 1u);
+  ASSERT_EQ(wrote->size(), 1u);
+  // Shared existential: the same null links the two atoms.
+  EXPECT_EQ(pub->tuples().begin()->at(0), wrote->tuples().begin()->at(1));
+}
+
+TEST(UpdateTest, TokenRingClosesLargerCycle) {
+  // Ring of 5 nodes, data injected at one point, must circulate and close.
+  workload::ScenarioOptions options;
+  options.topology.kind = workload::TopologySpec::Kind::kRing;
+  options.topology.nodes = 5;
+  options.records_per_node = 3;
+  auto system = workload::BuildScenario(options);
+  ASSERT_TRUE(system.ok());
+  net::SimRuntime rt;
+  auto session = RunFull(*system, &rt);
+  std::set<NodeId> open;
+  ASSERT_TRUE(session->AllClosed(&open)) << open.size() << " nodes open";
+  ExpectMatchesGlobalFixpoint(*system, session.get());
+  // Token passes happened (a real ring ran).
+  EXPECT_GT(rt.stats().MessagesOfType(net::MessageType::kToken), 0u);
+}
+
+TEST(UpdateTest, StatsAreRecorded) {
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+  net::SimRuntime rt;
+  auto session = RunFull(*system, &rt);
+  const UpdateEngine::Stats& stats = session->peer(1).update().stats();
+  EXPECT_GT(stats.joins_evaluated, 0u);
+  EXPECT_GT(stats.tuples_inserted, 0u);
+  EXPECT_GT(stats.answers_sent, 0u);
+}
+
+TEST(UpdateTest, IdempotentSecondUpdateAddsNothing) {
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+  net::SimRuntime rt;
+  auto session = RunFull(*system, &rt);
+  std::vector<rel::Database> first = session->SnapshotDatabases();
+  ASSERT_TRUE(session->RunUpdate().ok());  // Second session.
+  std::vector<rel::Database> second = session->SnapshotDatabases();
+  for (size_t n = 0; n < first.size(); ++n) {
+    EXPECT_TRUE(first[n] == second[n]) << "node " << n;
+  }
+}
+
+TEST(UpdateTest, ThreadRuntimeAgreesWithSimRuntime) {
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+
+  net::SimRuntime sim;
+  auto sim_session = RunFull(*system, &sim);
+
+  net::ThreadRuntime threads;
+  Session thread_session(*system, &threads);
+  ASSERT_TRUE(thread_session.RunDiscovery().ok());
+  ASSERT_TRUE(thread_session.RunUpdate().ok());
+  ASSERT_TRUE(thread_session.AllClosed());
+
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_TRUE(rel::DatabasesCertainEqual(sim_session->peer(n).db(),
+                                           thread_session.peer(n).db()))
+        << "node " << n;
+  }
+}
+
+}  // namespace
+}  // namespace p2pdb::core

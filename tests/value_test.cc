@@ -1,0 +1,91 @@
+#include "src/relational/value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace p2pdb::rel {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  Value i = Value::Int(-5);
+  Value s = Value::Str("x");
+  Value n = Value::Null(42);
+  EXPECT_EQ(i.kind(), ValueKind::kInt);
+  EXPECT_EQ(s.kind(), ValueKind::kString);
+  EXPECT_EQ(n.kind(), ValueKind::kNull);
+  EXPECT_EQ(i.AsInt(), -5);
+  EXPECT_EQ(s.AsStr(), "x");
+  EXPECT_EQ(n.null_id(), 42u);
+  EXPECT_TRUE(n.is_null());
+  EXPECT_FALSE(i.is_null());
+}
+
+TEST(ValueTest, EqualityWithinKind) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Int(4));
+  EXPECT_EQ(Value::Str("a"), Value::Str("a"));
+  EXPECT_NE(Value::Str("a"), Value::Str("b"));
+  EXPECT_EQ(Value::Null(1), Value::Null(1));
+  EXPECT_NE(Value::Null(1), Value::Null(2));
+}
+
+TEST(ValueTest, CrossKindNeverEqual) {
+  EXPECT_NE(Value::Int(1), Value::Str("1"));
+  EXPECT_NE(Value::Int(1), Value::Null(1));
+  EXPECT_NE(Value::Str("x"), Value::Null(1));
+}
+
+TEST(ValueTest, TotalOrderIsStrictWeak) {
+  std::vector<Value> values{Value::Int(2),    Value::Int(-1),
+                            Value::Str("b"),  Value::Str("a"),
+                            Value::Null(7),   Value::Null(3)};
+  std::set<Value> sorted(values.begin(), values.end());
+  EXPECT_EQ(sorted.size(), values.size());
+  // Ints before strings before nulls (kind ordering).
+  auto it = sorted.begin();
+  EXPECT_EQ(it->kind(), ValueKind::kInt);
+  it = std::prev(sorted.end());
+  EXPECT_EQ(it->kind(), ValueKind::kNull);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Str("q").Hash(), Value::Str("q").Hash());
+  EXPECT_EQ(Value::Int(12).Hash(), Value::Int(12).Hash());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Str("t").ToString(), "\"t\"");
+  NullFactory f(3);
+  Value n = f.Fresh();
+  EXPECT_EQ(n.ToString().substr(0, 4), "_:3.");
+}
+
+TEST(NullFactoryTest, FreshNullsAreDistinct) {
+  NullFactory f(1);
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 100; ++i) ids.insert(f.Fresh().null_id());
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(NullFactoryTest, NodesNeverCollide) {
+  NullFactory a(1), b(2);
+  EXPECT_NE(a.Fresh().null_id(), b.Fresh().null_id());
+  EXPECT_EQ(NullFactory::NodeOf(a.Fresh().null_id()), 1u);
+  EXPECT_EQ(NullFactory::NodeOf(b.Fresh().null_id()), 2u);
+}
+
+TEST(NullFactoryTest, DepthTracking) {
+  NullFactory f(5);
+  Value d1 = f.Fresh(0);
+  EXPECT_EQ(NullFactory::DepthBitsOf(d1.null_id()), 1u);
+  Value d4 = f.Fresh(3);
+  EXPECT_EQ(NullFactory::DepthBitsOf(d4.null_id()), 4u);
+  // Depth saturates at 255.
+  Value deep = f.Fresh(400);
+  EXPECT_EQ(NullFactory::DepthBitsOf(deep.null_id()), 255u);
+}
+
+}  // namespace
+}  // namespace p2pdb::rel

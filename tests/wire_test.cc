@@ -1,0 +1,194 @@
+#include "src/core/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/scenario.h"
+
+namespace p2pdb::core::wire {
+namespace {
+
+rel::Value S(const char* s) { return rel::Value::Str(s); }
+rel::Value I(int64_t i) { return rel::Value::Int(i); }
+
+TEST(WireTest, ValueRoundTrip) {
+  for (const rel::Value& v :
+       {I(0), I(-42), I(1LL << 60), S(""), S("hello world"),
+        rel::Value::Null(0x1234567890ULL)}) {
+    Writer w;
+    EncodeValue(v, &w);
+    Reader r(w.bytes());
+    auto back = DecodeValue(&r);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(WireTest, TupleSetRoundTrip) {
+  std::set<rel::Tuple> tuples{
+      rel::Tuple({I(1), S("a")}),
+      rel::Tuple({I(2), S("b")}),
+      rel::Tuple({rel::Value::Null(7), S("c")}),
+  };
+  Writer w;
+  EncodeTupleSet(tuples, &w);
+  Reader r(w.bytes());
+  auto back = DecodeTupleSet(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, tuples);
+}
+
+TEST(WireTest, QueryRoundTrip) {
+  rel::ConjunctiveQuery q;
+  q.head_vars = {"X", "Y"};
+  rel::Atom a;
+  a.relation = "edge";
+  a.terms = {rel::Term::Var("X"), rel::Term::Const(S("c"))};
+  q.atoms = {a};
+  rel::Builtin b;
+  b.op = rel::BuiltinOp::kNe;
+  b.lhs = rel::Term::Var("X");
+  b.rhs = rel::Term::Var("Y");
+  q.builtins = {b};
+
+  Writer w;
+  EncodeQuery(q, &w);
+  Reader r(w.bytes());
+  auto back = DecodeQuery(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ToString(), q.ToString());
+}
+
+TEST(WireTest, RuleRoundTripOverExampleRules) {
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+  for (const CoordinationRule& rule : system->rules()) {
+    Writer w;
+    EncodeRule(rule, &w);
+    Reader r(w.bytes());
+    auto back = DecodeRule(&r);
+    ASSERT_TRUE(back.ok()) << rule.id;
+    EXPECT_EQ(back->ToString(), rule.ToString());
+  }
+}
+
+TEST(WireTest, EdgesRoundTrip) {
+  std::set<Edge> edges{{0, 1}, {1, 2}, {2, 0}};
+  Writer w;
+  EncodeEdges(edges, &w);
+  Reader r(w.bytes());
+  auto back = DecodeEdges(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, edges);
+}
+
+TEST(WireTest, DiscoverPayloadsRoundTrip) {
+  DiscoverRequest req{7};
+  auto req2 = DiscoverRequest::Decode(req.Encode());
+  ASSERT_TRUE(req2.ok());
+  EXPECT_EQ(req2->origin, 7u);
+
+  DiscoverAnswer ans;
+  ans.origin = 3;
+  ans.visited = true;
+  ans.edges = {{1, 2}};
+  auto ans2 = DiscoverAnswer::Decode(ans.Encode());
+  ASSERT_TRUE(ans2.ok());
+  EXPECT_EQ(ans2->origin, 3u);
+  EXPECT_TRUE(ans2->visited);
+  EXPECT_EQ(ans2->edges, ans.edges);
+
+  DiscoverClosure closure;
+  closure.origin = 9;
+  closure.edges = {{0, 1}, {1, 0}};
+  auto closure2 = DiscoverClosure::Decode(closure.Encode());
+  ASSERT_TRUE(closure2.ok());
+  EXPECT_EQ(closure2->edges, closure.edges);
+}
+
+TEST(WireTest, UpdatePayloadsRoundTrip) {
+  QueryRequest req;
+  req.session = 5;
+  req.rule_id = "r1";
+  req.part = 2;
+  req.query.head_vars = {"X"};
+  auto req2 = QueryRequest::Decode(req.Encode());
+  ASSERT_TRUE(req2.ok());
+  EXPECT_EQ(req2->session, 5u);
+  EXPECT_EQ(req2->rule_id, "r1");
+  EXPECT_EQ(req2->part, 2u);
+
+  QueryAnswer ans;
+  ans.session = 5;
+  ans.rule_id = "r1";
+  ans.part = 2;
+  ans.is_delta = false;
+  ans.source_closed = true;
+  ans.tuples = {rel::Tuple({I(1)})};
+  auto ans2 = QueryAnswer::Decode(ans.Encode());
+  ASSERT_TRUE(ans2.ok());
+  EXPECT_FALSE(ans2->is_delta);
+  EXPECT_TRUE(ans2->source_closed);
+  EXPECT_EQ(ans2->tuples, ans.tuples);
+
+  Unsubscribe unsub;
+  unsub.session = 1;
+  unsub.rule_id = "rX";
+  unsub.part = 1;
+  auto unsub2 = Unsubscribe::Decode(unsub.Encode());
+  ASSERT_TRUE(unsub2.ok());
+  EXPECT_EQ(unsub2->rule_id, "rX");
+}
+
+TEST(WireTest, PartialUpdateRoundTrip) {
+  PartialUpdate p;
+  p.session = 4;
+  p.relations = {"a", "b"};
+  p.sn_path = {3, 1, 2};
+  auto p2 = PartialUpdate::Decode(p.Encode());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->relations, p.relations);
+  EXPECT_EQ(p2->sn_path, p.sn_path);
+}
+
+TEST(WireTest, TokenRoundTrip) {
+  Token t;
+  t.session = 1;
+  t.leader = 2;
+  t.pass = 10;
+  t.sum_sent = 100;
+  t.sum_recv = 99;
+  t.all_ready = false;
+  auto t2 = Token::Decode(t.Encode());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2->leader, 2u);
+  EXPECT_EQ(t2->pass, 10u);
+  EXPECT_EQ(t2->sum_sent, 100u);
+  EXPECT_EQ(t2->sum_recv, 99u);
+  EXPECT_FALSE(t2->all_ready);
+}
+
+TEST(WireTest, ChangePayloadsRoundTrip) {
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+  AddRuleChange add{system->rules().front()};
+  auto add2 = AddRuleChange::Decode(add.Encode());
+  ASSERT_TRUE(add2.ok());
+  EXPECT_EQ(add2->rule.ToString(), add.rule.ToString());
+
+  DeleteRuleChange del{"r7"};
+  auto del2 = DeleteRuleChange::Decode(del.Encode());
+  ASSERT_TRUE(del2.ok());
+  EXPECT_EQ(del2->rule_id, "r7");
+}
+
+TEST(WireTest, DecodeRejectsGarbage) {
+  std::vector<uint8_t> garbage{0xff, 0x01, 0x02};
+  EXPECT_FALSE(QueryRequest::Decode(garbage).ok());
+  EXPECT_FALSE(AddRuleChange::Decode(garbage).ok());
+  std::vector<uint8_t> empty;
+  EXPECT_FALSE(DiscoverRequest::Decode(empty).ok());
+}
+
+}  // namespace
+}  // namespace p2pdb::core::wire
