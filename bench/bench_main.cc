@@ -1,0 +1,181 @@
+// JSON-emitting bench harness: runs a curated set of end-to-end update
+// scenarios (one per topology family of Section 5's experiments) and writes
+// per-bench wall-clock, simulated time, message counts and throughput to a
+// BENCH_<name>.json file so the perf trajectory is machine-readable.
+//
+//   ./bench_main [--out FILE] [--repeat N] [--filter SUBSTR]
+//
+// Repeats take the minimum wall time (least-noise estimator); simulated
+// metrics are deterministic and identical across repeats.
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace p2pdb::bench {
+namespace {
+
+struct BenchCase {
+  std::string name;
+  workload::ScenarioOptions options;
+};
+
+std::vector<BenchCase> MakeCases() {
+  const size_t records = FullScale() ? 1000 : 200;
+  std::vector<BenchCase> cases;
+
+  BenchCase tree;
+  tree.name = "tree_15";
+  tree.options.topology.kind = workload::TopologySpec::Kind::kTree;
+  tree.options.topology.nodes = 15;
+  tree.options.records_per_node = records;
+  cases.push_back(tree);
+
+  BenchCase dag;
+  dag.name = "layered_dag_12";
+  dag.options.topology.kind = workload::TopologySpec::Kind::kLayeredDag;
+  dag.options.topology.nodes = 12;
+  dag.options.topology.layers = 4;
+  dag.options.records_per_node = records;
+  cases.push_back(dag);
+
+  BenchCase clique;
+  clique.name = "clique_5";
+  clique.options.topology.kind = workload::TopologySpec::Kind::kClique;
+  clique.options.topology.nodes = 5;
+  clique.options.records_per_node = FullScale() ? records : 60;
+  cases.push_back(clique);
+
+  BenchCase chain;
+  chain.name = "chain_12";
+  chain.options.topology.kind = workload::TopologySpec::Kind::kChain;
+  chain.options.topology.nodes = 12;
+  chain.options.records_per_node = records;
+  cases.push_back(chain);
+
+  BenchCase overlap;
+  overlap.name = "tree_15_overlap50";
+  overlap.options = tree.options;
+  overlap.options.link_overlap_prob = 0.5;  // The paper's second distribution.
+  cases.push_back(overlap);
+
+  return cases;
+}
+
+struct BenchResult {
+  std::string name;
+  RunMetrics metrics;
+  double tuples_per_sec = 0;
+  double messages_per_sec = 0;
+};
+
+BenchResult RunCase(const BenchCase& bench, int repeat) {
+  BenchResult result;
+  result.name = bench.name;
+  for (int i = 0; i < repeat; ++i) {
+    RunMetrics metrics = RunScenario(bench.options);
+    if (i == 0 || metrics.wall_ms < result.metrics.wall_ms) {
+      result.metrics = metrics;
+    }
+  }
+  if (result.metrics.wall_ms > 0) {
+    const double wall_s = result.metrics.wall_ms / 1000.0;
+    result.tuples_per_sec =
+        static_cast<double>(result.metrics.inserted) / wall_s;
+    result.messages_per_sec =
+        static_cast<double>(result.metrics.messages) / wall_s;
+  }
+  return result;
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<BenchResult>& results, int repeat) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << "{\n  \"suite\": \"p2pdb_update\",\n  \"repeat\": " << repeat
+      << ",\n  \"full_scale\": " << (FullScale() ? "true" : "false")
+      << ",\n  \"benches\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    out << "    {\n"
+        << "      \"name\": \"" << r.name << "\",\n"
+        << "      \"wall_ms\": " << r.metrics.wall_ms << ",\n"
+        << "      \"sim_ms\": " << r.metrics.sim_ms << ",\n"
+        << "      \"messages\": " << r.metrics.messages << ",\n"
+        << "      \"bytes\": " << r.metrics.bytes << ",\n"
+        << "      \"tuples_inserted\": " << r.metrics.inserted << ",\n"
+        << "      \"token_passes\": " << r.metrics.token_passes << ",\n"
+        << "      \"depth\": " << r.metrics.depth << ",\n"
+        << "      \"all_closed\": " << (r.metrics.all_closed ? "true" : "false")
+        << ",\n"
+        << "      \"tuples_per_sec\": " << r.tuples_per_sec << ",\n"
+        << "      \"messages_per_sec\": " << r.messages_per_sec << "\n"
+        << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.flush();
+  return !out.fail();
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_p2pdb.json";
+  std::string filter;
+  int repeat = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--filter") == 0 && i + 1 < argc) {
+      filter = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_main [--out FILE] [--repeat N] "
+                   "[--filter SUBSTR]\n");
+      return 2;
+    }
+  }
+
+  PrintHeader("bench_main: end-to-end update suite");
+  std::printf("%-20s %10s %10s %10s %12s %14s\n", "bench", "wall_ms", "sim_ms",
+              "messages", "tuples", "tuples/s");
+
+  std::vector<BenchResult> results;
+  bool all_closed = true;
+  for (const BenchCase& bench : MakeCases()) {
+    if (!filter.empty() && bench.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    BenchResult r = RunCase(bench, repeat);
+    std::printf("%-20s %10.2f %10.2f %10llu %12llu %14.0f\n", r.name.c_str(),
+                r.metrics.wall_ms, r.metrics.sim_ms,
+                static_cast<unsigned long long>(r.metrics.messages),
+                static_cast<unsigned long long>(r.metrics.inserted),
+                r.tuples_per_sec);
+    all_closed = all_closed && r.metrics.all_closed;
+    results.push_back(std::move(r));
+  }
+
+  if (results.empty()) {
+    std::fprintf(stderr, "no benches matched filter '%s'\n", filter.c_str());
+    return 1;
+  }
+  if (!WriteJson(out_path, results, repeat)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%zu benches)\n", out_path.c_str(), results.size());
+  if (!all_closed) {
+    std::fprintf(stderr, "error: a scenario did not reach quiescence\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace p2pdb::bench
+
+int main(int argc, char** argv) { return p2pdb::bench::Main(argc, argv); }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds the Release preset and runs the bench harness, emitting a
+# BENCH_<name>.json with per-bench wall-clock and throughput numbers.
+#
+#   scripts/run_bench.sh [OUT.json] [extra bench_main args...]
+#
+# Env: P2PDB_BENCH_REPEAT (default 2), P2PDB_BENCH_FULL=1 for paper-scale
+# record counts.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+
+# First arg is the output file unless it is a flag for bench_main.
+OUT="BENCH_p2pdb.json"
+if [[ $# -gt 0 && $1 != --* ]]; then
+  OUT="$1"
+  shift
+fi
+
+cmake --preset release
+cmake --build --preset release -j "$(nproc)" --target bench_main
+
+./build/release/bench_main --out "$OUT" \
+    --repeat "${P2PDB_BENCH_REPEAT:-2}" "$@"
+
+echo "bench results: $ROOT/$OUT"

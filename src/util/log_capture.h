@@ -1,0 +1,58 @@
+// In-memory log sinks for tests: capture emitted lines instead of letting
+// them reach stderr, and assert on their content. Kept out of logging.h so
+// the hot P2PDB_LOG header stays minimal.
+#ifndef P2PDB_UTIL_LOG_CAPTURE_H_
+#define P2PDB_UTIL_LOG_CAPTURE_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace p2pdb {
+
+/// A sink that buffers formatted lines in memory. Tests install one to keep
+/// ctest output clean and to assert on emitted text.
+class CapturingLogSink : public LogSink {
+ public:
+  void Write(LogLevel /*level*/, const std::string& line) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lines_.push_back(line);
+  }
+
+  std::vector<std::string> lines() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lines_;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lines_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+/// RAII helper: installs a CapturingLogSink for the current scope and
+/// restores the previous sink on destruction.
+class ScopedLogCapture {
+ public:
+  ScopedLogCapture() : previous_(SetLogSink(&sink_)) {}
+  ~ScopedLogCapture() { SetLogSink(previous_); }
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+  std::vector<std::string> lines() const { return sink_.lines(); }
+  void Clear() { sink_.Clear(); }
+
+ private:
+  CapturingLogSink sink_;
+  LogSink* previous_;
+};
+
+}  // namespace p2pdb
+
+#endif  // P2PDB_UTIL_LOG_CAPTURE_H_

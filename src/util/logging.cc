@@ -9,6 +9,7 @@ namespace p2pdb {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_emit_mutex;
+LogSink* g_sink = nullptr;  // Guarded by g_emit_mutex; nullptr = stderr.
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -33,6 +34,13 @@ void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
+LogSink* SetLogSink(LogSink* sink) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  LogSink* previous = g_sink;
+  g_sink = sink;
+  return previous;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -46,7 +54,11 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (g_sink != nullptr) {
+    g_sink->Write(level_, stream_.str());
+  } else {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
 }
 
 }  // namespace internal

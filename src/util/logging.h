@@ -14,9 +14,28 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4,
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Destination for emitted log lines. The default (no sink installed) writes
+/// to stderr.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  /// Called with the fully formatted line (no trailing newline). Invoked
+  /// under the emission lock, so implementations need not synchronize with
+  /// other emitters — but must not log from within Write.
+  virtual void Write(LogLevel level, const std::string& line) = 0;
+};
+
+/// Installs `sink` as the destination for all subsequent log lines and
+/// returns the previously installed sink (nullptr if lines were going to
+/// stderr). Pass nullptr to restore the default stderr output. The caller
+/// retains ownership; the sink must outlive its installation.
+LogSink* SetLogSink(LogSink* sink);
+// See src/util/log_capture.h for in-memory sinks used by tests.
+
 namespace internal {
 
-/// Accumulates one log line and emits it to stderr on destruction.
+/// Accumulates one log line and emits it on destruction to the installed
+/// LogSink (stderr when none is installed).
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

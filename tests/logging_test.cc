@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/util/log_capture.h"
+
 namespace p2pdb {
 namespace {
 
@@ -46,6 +48,7 @@ TEST(LoggingTest, SuppressedLevelsDoNotEvaluateStream) {
 
 TEST(LoggingTest, EnabledLevelEvaluates) {
   LogLevelGuard guard;
+  ScopedLogCapture capture;  // Keep the emitted line out of ctest output.
   SetLogLevel(LogLevel::kError);
   int evaluations = 0;
   auto expensive = [&]() {
@@ -54,6 +57,39 @@ TEST(LoggingTest, EnabledLevelEvaluates) {
   };
   P2PDB_LOG(kError) << expensive();
   EXPECT_EQ(evaluations, 1);
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_NE(capture.lines()[0].find("payload"), std::string::npos);
+  EXPECT_NE(capture.lines()[0].find("[ERROR "), std::string::npos);
+}
+
+TEST(LoggingTest, CapturingSinkCollectsAndClears) {
+  LogLevelGuard guard;
+  ScopedLogCapture capture;
+  SetLogLevel(LogLevel::kInfo);
+  P2PDB_LOG(kInfo) << "first";
+  P2PDB_LOG(kWarn) << "second";
+  P2PDB_LOG(kDebug) << "suppressed";
+  ASSERT_EQ(capture.lines().size(), 2u);
+  EXPECT_NE(capture.lines()[0].find("first"), std::string::npos);
+  EXPECT_NE(capture.lines()[1].find("second"), std::string::npos);
+  capture.Clear();
+  EXPECT_TRUE(capture.lines().empty());
+}
+
+TEST(LoggingTest, SetLogSinkReturnsPreviousAndRestores) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  CapturingLogSink outer;
+  LogSink* original = SetLogSink(&outer);
+  {
+    ScopedLogCapture inner;
+    P2PDB_LOG(kError) << "goes to inner";
+    EXPECT_EQ(inner.lines().size(), 1u);
+    EXPECT_TRUE(outer.lines().empty());
+  }
+  P2PDB_LOG(kError) << "goes to outer";
+  EXPECT_EQ(outer.lines().size(), 1u);
+  SetLogSink(original);
 }
 
 }  // namespace
