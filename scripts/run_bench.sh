@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Builds the Release preset and runs the bench harness, emitting a
-# BENCH_<name>.json with per-bench wall-clock and throughput numbers.
+# Builds the Release preset and runs one JSON-emitting bench harness,
+# writing a BENCH_<name>.json with per-bench wall-clock and throughput.
 #
-#   scripts/run_bench.sh [OUT.json] [extra bench_main args...]
+#   scripts/run_bench.sh [OUT.json] [--bench NAME] [extra bench args...]
+#
+# --bench selects which harness runs (so a single suite, e.g. the recovery
+# bench, can be run/emitted without the full update suite):
+#   main      end-to-end update suite (default; emits BENCH_p2pdb.json)
+#   recovery  WAL/checkpoint/crash-recovery suite (emits BENCH_recovery.json)
+# Extra args (e.g. --filter SUBSTR, --repeat N) are passed through.
 #
 # Env: P2PDB_BENCH_REPEAT (default 2), P2PDB_BENCH_FULL=1 for paper-scale
 # record counts.
@@ -11,17 +17,43 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$ROOT"
 
-# First arg is the output file unless it is a flag for bench_main.
-OUT="BENCH_p2pdb.json"
+# First arg is the output file unless it is a flag.
+OUT=""
 if [[ $# -gt 0 && $1 != --* ]]; then
   OUT="$1"
   shift
 fi
 
+BENCH="main"
+ARGS=()
+while [[ $# -gt 0 ]]; do
+  if [[ $1 == --bench ]]; then
+    [[ $# -ge 2 ]] || { echo "error: --bench needs a name" >&2; exit 2; }
+    BENCH="$2"
+    shift 2
+  else
+    ARGS+=("$1")
+    shift
+  fi
+done
+
+case "$BENCH" in
+  main)     TARGET=bench_main;     DEFAULT_OUT=BENCH_p2pdb.json ;;
+  recovery) TARGET=bench_recovery; DEFAULT_OUT=BENCH_recovery.json ;;
+  *)
+    echo "error: unknown bench '$BENCH' (expected: main, recovery)" >&2
+    exit 2
+    ;;
+esac
+OUT="${OUT:-$DEFAULT_OUT}"
+
 cmake --preset release
-cmake --build --preset release -j "$(nproc)" --target bench_main
+cmake --build --preset release -j "$(nproc)" --target "$TARGET"
 
-./build/release/bench_main --out "$OUT" \
-    --repeat "${P2PDB_BENCH_REPEAT:-2}" "$@"
+"./build/release/$TARGET" --out "$OUT" \
+    --repeat "${P2PDB_BENCH_REPEAT:-2}" "${ARGS[@]+"${ARGS[@]}"}"
 
-echo "bench results: $ROOT/$OUT"
+case "$OUT" in
+  /*) echo "bench results: $OUT" ;;
+  *)  echo "bench results: $ROOT/$OUT" ;;
+esac

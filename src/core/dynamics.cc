@@ -24,6 +24,49 @@ AtomicChange AtomicChange::Delete(uint64_t at_micros, NodeId head,
   return c;
 }
 
+ChurnEvent ChurnEvent::Crash(uint64_t at_micros, NodeId node) {
+  ChurnEvent e;
+  e.kind = Kind::kCrash;
+  e.at_micros = at_micros;
+  e.node = node;
+  return e;
+}
+
+ChurnEvent ChurnEvent::Restart(uint64_t at_micros, NodeId node) {
+  ChurnEvent e;
+  e.kind = Kind::kRestart;
+  e.at_micros = at_micros;
+  e.node = node;
+  return e;
+}
+
+Status ValidateChurnScript(const ChurnScript& script, size_t node_count) {
+  uint64_t last_time = 0;
+  std::set<NodeId> down;
+  for (const ChurnEvent& e : script) {
+    if (e.node >= node_count) {
+      return Status::InvalidArgument("churn event for unknown node " +
+                                     std::to_string(e.node));
+    }
+    if (e.at_micros < last_time) {
+      return Status::InvalidArgument("churn script is not time-ordered");
+    }
+    last_time = e.at_micros;
+    if (e.kind == ChurnEvent::Kind::kCrash) {
+      if (!down.insert(e.node).second) {
+        return Status::InvalidArgument("node " + std::to_string(e.node) +
+                                       " crashed twice without a restart");
+      }
+    } else {
+      if (down.erase(e.node) == 0) {
+        return Status::InvalidArgument("node " + std::to_string(e.node) +
+                                       " restarted without a crash");
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Result<P2PSystem> ApplyChanges(const P2PSystem& initial,
                                const ChangeScript& changes, bool apply_adds,
                                bool apply_deletes) {

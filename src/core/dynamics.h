@@ -33,6 +33,26 @@ struct AtomicChange {
 
 using ChangeScript = std::vector<AtomicChange>;
 
+/// Peer churn, beyond Definition 8's link changes: a peer process crashes at
+/// a simulated time (its in-memory state and in-flight messages are lost) and
+/// may later restart, recovering its database from durable storage
+/// (checkpoint + WAL replay) and rejoining via the discovery/session path.
+struct ChurnEvent {
+  enum class Kind { kCrash, kRestart };
+  Kind kind = Kind::kCrash;
+  uint64_t at_micros = 0;
+  NodeId node = kNoNode;
+
+  static ChurnEvent Crash(uint64_t at_micros, NodeId node);
+  static ChurnEvent Restart(uint64_t at_micros, NodeId node);
+};
+
+using ChurnScript = std::vector<ChurnEvent>;
+
+/// Sanity-checks a churn script: events in nondecreasing time order, every
+/// restart preceded by a crash of the same node, no double crash/restart.
+Status ValidateChurnScript(const ChurnScript& script, size_t node_count);
+
 /// Definition 9 envelope:
 ///  * sound bound ("upper"): the fix-point with every addLink applied first
 ///    and no deleteLink executed — the final state must be contained in it;

@@ -15,6 +15,7 @@
 #include "src/core/wire.h"
 #include "src/net/runtime.h"
 #include "src/relational/database.h"
+#include "src/storage/storage.h"
 
 namespace p2pdb::core {
 
@@ -53,6 +54,25 @@ class Peer : public net::PeerHandler {
   /// Evaluates a local query against the node's current database.
   Result<std::set<rel::Tuple>> LocalQuery(
       const rel::ConjunctiveQuery& query) const;
+
+  // --- Durability (optional; peers without storage behave as before) ---
+
+  /// Takes ownership of a storage backend and establishes its base state
+  /// (checkpoints the current database iff the backend has none yet). From
+  /// here on every delta the chase applies is logged through it.
+  Status AttachStorage(std::unique_ptr<storage::Storage> storage);
+  storage::Storage* storage() { return storage_.get(); }
+
+  /// Called by the update engine after the chase inserts `delta`; logs it and
+  /// lets the backend checkpoint. Errors are logged, not propagated — the
+  /// protocol must keep running even if the disk misbehaves.
+  void OnDeltaApplied(const storage::DeltaMap& delta);
+
+  /// Rebuilds the database from storage (checkpoint + WAL replay), advances
+  /// the null factory past every recovered null this node minted, and
+  /// compacts the recovered state into a fresh checkpoint. Must be called
+  /// before any protocol activity on this peer.
+  Result<storage::RecoveryInfo> Recover();
 
   // net::PeerHandler: decode and dispatch.
   void OnMessage(const net::Message& msg) override;
@@ -96,6 +116,7 @@ class Peer : public net::PeerHandler {
   Config config_;
   std::vector<CoordinationRule> rules_;
   std::set<wire::Edge> known_edges_;
+  std::unique_ptr<storage::Storage> storage_;
   std::unique_ptr<DiscoveryEngine> discovery_;
   std::unique_ptr<UpdateEngine> update_;
 };

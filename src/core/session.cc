@@ -12,8 +12,10 @@ Session::Session(const P2PSystem& system, net::Runtime* runtime,
   for (const NodeInfo& info : system.nodes()) {
     peers_.push_back(std::make_unique<Peer>(info.id, info.name, info.db,
                                             runtime_, options_.peer));
+    names_.push_back(info.name);
   }
-  for (const CoordinationRule& rule : system.rules()) {
+  initial_rules_ = system.rules();
+  for (const CoordinationRule& rule : initial_rules_) {
     // "Initially each node knows all rules of which it is a target."
     (void)peers_[rule.head_node]->AddInitialRule(rule);
     for (const CoordinationRule::BodyPart& p : rule.body) {
@@ -26,7 +28,9 @@ Status Session::RunDiscovery() {
   if (options_.discovery == Options::DiscoveryMode::kSuperPeer) {
     peers_[options_.super_peer]->StartDiscovery();
   } else {
-    for (auto& peer : peers_) peer->StartDiscovery();
+    for (auto& peer : peers_) {
+      if (peer != nullptr) peer->StartDiscovery();
+    }
   }
   return runtime_->Run();
 }
@@ -37,7 +41,13 @@ Status Session::RunUpdate() {
 
 Status Session::RunUpdateFrom(const std::vector<NodeId>& initiators) {
   uint64_t session = next_session_++;
-  for (NodeId n : initiators) peers_[n]->StartUpdate(session);
+  for (NodeId n : initiators) {
+    if (!IsAlive(n)) {
+      return Status::InvalidArgument("update initiator " + std::to_string(n) +
+                                     " is not alive");
+    }
+    peers_[n]->StartUpdate(session);
+  }
   return runtime_->Run();
 }
 
@@ -70,15 +80,105 @@ void Session::ScheduleChange(const AtomicChange& change) {
 }
 
 Status Session::Rediscover() {
-  for (auto& peer : peers_) peer->StartDiscovery();
+  for (auto& peer : peers_) {
+    if (peer != nullptr) peer->StartDiscovery();
+  }
   P2PDB_RETURN_IF_ERROR(runtime_->Run());
-  for (auto& peer : peers_) peer->update().RefreshScc();
+  for (auto& peer : peers_) {
+    if (peer != nullptr) peer->update().RefreshScc();
+  }
   return runtime_->Run();
+}
+
+Status Session::AttachStorage(NodeId id,
+                              std::unique_ptr<storage::Storage> storage) {
+  if (!IsAlive(id)) {
+    return Status::InvalidArgument("node " + std::to_string(id) +
+                                   " is not alive");
+  }
+  return peers_[id]->AttachStorage(std::move(storage));
+}
+
+Status Session::CrashPeer(NodeId id) {
+  if (!IsAlive(id)) {
+    return Status::InvalidArgument("node " + std::to_string(id) +
+                                   " is not alive");
+  }
+  // Unregister first so nothing is delivered to a dying handler, then drop
+  // the peer: its volatile state (database, subscriptions, engines) is gone;
+  // only what its storage backend wrote to disk survives.
+  runtime_->UnregisterPeer(id);
+  peers_[id].reset();
+  return Status::OK();
+}
+
+Status Session::RestartPeer(NodeId id,
+                            std::unique_ptr<storage::Storage> storage) {
+  if (id >= peers_.size()) {
+    return Status::InvalidArgument("unknown node " + std::to_string(id));
+  }
+  if (peers_[id] != nullptr) {
+    return Status::InvalidArgument("node " + std::to_string(id) +
+                                   " is still alive");
+  }
+  auto peer = std::make_unique<Peer>(id, names_[id], rel::Database(), runtime_,
+                                     options_.peer);
+  P2PDB_RETURN_IF_ERROR(peer->AttachStorage(std::move(storage)));
+  auto info = peer->Recover();
+  if (!info.ok()) return info.status();
+  for (const CoordinationRule& rule : initial_rules_) {
+    if (rule.head_node != id) continue;
+    Status st = peer->AddInitialRule(rule);
+    if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
+  }
+  peers_[id] = std::move(peer);
+  return Status::OK();
+}
+
+Status Session::RunUpdateWithChurn(const ChurnScript& churn,
+                                   const StorageProvider& storage_for) {
+  P2PDB_RETURN_IF_ERROR(ValidateChurnScript(churn, peers_.size()));
+  // Durability must be in place before the crash: attach storage to every
+  // peer the script will kill (base checkpoint now, WAL from here on).
+  for (const ChurnEvent& e : churn) {
+    if (e.kind != ChurnEvent::Kind::kCrash) continue;
+    if (!IsAlive(e.node)) continue;
+    if (peers_[e.node]->storage() != nullptr) continue;
+    P2PDB_RETURN_IF_ERROR(AttachStorage(e.node, storage_for(e.node)));
+  }
+
+  if (!IsAlive(options_.super_peer)) {
+    return Status::InvalidArgument("super peer " +
+                                   std::to_string(options_.super_peer) +
+                                   " is not alive");
+  }
+  uint64_t session = next_session_++;
+  peers_[options_.super_peer]->StartUpdate(session);
+  bool restarted = false;
+  for (const ChurnEvent& e : churn) {
+    P2PDB_RETURN_IF_ERROR(runtime_->RunUntil(e.at_micros));
+    if (e.kind == ChurnEvent::Kind::kCrash) {
+      P2PDB_RETURN_IF_ERROR(CrashPeer(e.node));
+    } else {
+      P2PDB_RETURN_IF_ERROR(RestartPeer(e.node, storage_for(e.node)));
+      restarted = true;
+    }
+  }
+  P2PDB_RETURN_IF_ERROR(runtime_->Run());
+  if (restarted) {
+    // Rejoin: recovered peers re-learn the topology, then a fresh session
+    // re-subscribes everything and drives the network back to the global
+    // fix-point (set-union answers make the re-run idempotent).
+    P2PDB_RETURN_IF_ERROR(Rediscover());
+    P2PDB_RETURN_IF_ERROR(RunUpdate());
+  }
+  return Status::OK();
 }
 
 std::set<NodeId> Session::Participants() const {
   std::set<wire::Edge> edges;
   for (const auto& peer : peers_) {
+    if (peer == nullptr) continue;  // Crashed peers contribute no edges.
     for (const CoordinationRule& r : peer->rules()) {
       for (const CoordinationRule::BodyPart& p : r.body) {
         edges.insert({r.head_node, p.node});
@@ -94,7 +194,8 @@ std::set<NodeId> Session::Participants() const {
 bool Session::AllClosed(std::set<NodeId>* open_nodes) const {
   bool all = true;
   for (NodeId n : Participants()) {
-    if (peers_[n]->update().state() != UpdateEngine::State::kClosed) {
+    if (peers_[n] == nullptr ||
+        peers_[n]->update().state() != UpdateEngine::State::kClosed) {
       all = false;
       if (open_nodes != nullptr) open_nodes->insert(n);
     }
@@ -105,7 +206,10 @@ bool Session::AllClosed(std::set<NodeId>* open_nodes) const {
 std::vector<rel::Database> Session::SnapshotDatabases() const {
   std::vector<rel::Database> out;
   out.reserve(peers_.size());
-  for (const auto& peer : peers_) out.push_back(peer->db());
+  for (const auto& peer : peers_) {
+    // A crashed peer snapshots as an empty database.
+    out.push_back(peer != nullptr ? peer->db() : rel::Database());
+  }
   return out;
 }
 
@@ -114,6 +218,7 @@ std::string Session::CollectStatistics() const {
       "%-6s %-8s %-8s %10s %8s %8s %8s %8s\n", "node", "state_d", "state_u",
       "tuples", "inserted", "joins", "answers", "reopens");
   for (const auto& peer : peers_) {
+    if (peer == nullptr) continue;
     const UpdateEngine::Stats& stats = peer->update().stats();
     const char* state_d =
         peer->discovery().state() == DiscoveryEngine::State::kClosed

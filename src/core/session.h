@@ -5,6 +5,7 @@
 #ifndef P2PDB_CORE_SESSION_H_
 #define P2PDB_CORE_SESSION_H_
 
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -15,6 +16,7 @@
 #include "src/core/system.h"
 #include "src/net/network.h"
 #include "src/net/runtime.h"
+#include "src/storage/storage.h"
 
 namespace p2pdb::core {
 
@@ -59,8 +61,46 @@ class Session {
   /// membership after dynamic changes (needed when changes affect cycles).
   Status Rediscover();
 
+  // --- Peer churn (crash / durable restart) ---
+
+  /// Creates a storage backend for a node (called when churn attaches
+  /// durability before a crash and again when the node restarts, like a
+  /// fresh process reopening its data directory).
+  using StorageProvider =
+      std::function<std::unique_ptr<storage::Storage>(NodeId)>;
+
+  /// Attaches a storage backend to a live peer (checkpoints its current
+  /// database as the base state; every applied delta is logged from here on).
+  Status AttachStorage(NodeId id, std::unique_ptr<storage::Storage> storage);
+
+  /// Simulates a process crash: destroys the peer object and unregisters it
+  /// from the runtime, so in-flight messages to it are dropped. Its durable
+  /// storage (if any) survives on disk.
+  Status CrashPeer(NodeId id);
+
+  /// Restarts a crashed peer: rebuilds it from `storage` via
+  /// Peer::Recover() (checkpoint + WAL replay), re-registers the initial
+  /// coordination rules headed at it, and re-registers it with the runtime.
+  /// The caller then rejoins it via the normal discovery/session path.
+  Status RestartPeer(NodeId id, std::unique_ptr<storage::Storage> storage);
+
+  /// True when the peer object exists (has not crashed).
+  bool IsAlive(NodeId id) const {
+    return id < peers_.size() && peers_[id] != nullptr;
+  }
+
+  /// Runs one update session from the super-peer while executing `churn` at
+  /// its simulated times (requires a runtime with a controllable clock, e.g.
+  /// SimRuntime): crashing peers get storage attached up front, crashes and
+  /// restarts fire mid-propagation, and after the script drains every
+  /// restarted peer rejoins through rediscovery plus a fresh update session,
+  /// re-converging the whole network (the protocol is monotone, so the
+  /// second session is idempotent on already-complete peers).
+  Status RunUpdateWithChurn(const ChurnScript& churn,
+                            const StorageProvider& storage_for);
+
   // --- Inspection ---
-  Peer& peer(NodeId id) { return *peers_[id]; }
+  Peer& peer(NodeId id) { return *peers_[id]; }  // Precondition: IsAlive(id).
   const Peer& peer(NodeId id) const { return *peers_[id]; }
   size_t peer_count() const { return peers_.size(); }
 
@@ -87,7 +127,13 @@ class Session {
   net::Runtime* runtime_;
   net::Network network_;
   Options options_;
-  std::vector<std::unique_ptr<Peer>> peers_;
+  std::vector<std::unique_ptr<Peer>> peers_;  // null entry = crashed peer
+  /// Retained for restarts: node names and the system's initial rules (a
+  /// restarted head re-learns "all rules of which it is a target"; rule
+  /// changes applied after session start must be re-delivered by the change
+  /// driver, as in the paper's notification model).
+  std::vector<std::string> names_;
+  std::vector<CoordinationRule> initial_rules_;
   uint64_t next_session_ = 1;
 };
 

@@ -22,6 +22,17 @@ void UpdateEngine::StartSession(uint64_t session) {
 
 void UpdateEngine::JoinSession(uint64_t session, bool flood) {
   if (state_ != State::kIdle && session_ == session) return;
+  if (session_ != session) {
+    // Fix-point detection is per session: a peer crash can lose messages a
+    // ring member counted as sent, and carrying that imbalance into the next
+    // session would leave the Mattern check (sent == recv) unsatisfiable
+    // forever. Per-link FIFO makes the reset consistent — UpdateStart always
+    // precedes any counted message of the new session on the same link.
+    intra_sent_ = 0;
+    intra_recv_ = 0;
+    last_round_.reset();
+    token_running_ = false;
+  }
   session_ = session;
   partial_mode_ = false;
   RefreshScc();
@@ -199,11 +210,22 @@ bool UpdateEngine::JoinAndApply(RuleRuntime* rr, uint32_t delta_part,
                      << bindings.status().ToString();
     return false;
   }
+  // Collect this application's insertions separately so they can be logged
+  // to durable storage as one delta, then merge them into the semi-naive feed.
+  std::map<std::string, std::set<rel::Tuple>> applied;
   rel::ChaseStats chase_stats;
-  chase_stats.collect_inserted = &pending_delta_;
+  chase_stats.collect_inserted = &applied;
   Status st = rel::ApplyRuleHeadAll(&peer_->db(), rule.head_atoms, *bindings,
                                     &peer_->nulls(), options_.chase,
                                     &chase_stats);
+  // Even a failed application may have inserted tuples for earlier bindings;
+  // they are in the database, so they must reach subscribers and the WAL.
+  if (chase_stats.inserted > 0) {
+    for (const auto& [relation, tuples] : applied) {
+      pending_delta_[relation].insert(tuples.begin(), tuples.end());
+    }
+    peer_->OnDeltaApplied(applied);
+  }
   if (!st.ok()) {
     P2PDB_LOG(kError) << "chase failed for rule " << rule.id << ": "
                       << st.ToString();
@@ -341,12 +363,17 @@ void UpdateEngine::OnToken(NodeId from, const wire::Token& msg) {
     LeaderEvaluate(msg);
     return;
   }
+  // A node whose SCC view is out of step with the ring (e.g. freshly
+  // restarted, topology not yet re-discovered) cannot route the token; its
+  // "successor" may be itself. Drop it instead of looping — the ring stalls
+  // until rediscovery or a new session restores consistent routing.
+  NodeId next = RingSuccessor(peer_->id());
+  if (next == peer_->id()) return;
   wire::Token tok = msg;
   tok.sum_sent += intra_sent_;
   tok.sum_recv += intra_recv_;
   tok.all_ready = tok.all_ready && state_ != State::kIdle && ExternallyReady();
-  peer_->Send(RingSuccessor(peer_->id()), net::MessageType::kToken,
-              tok.Encode());
+  peer_->Send(next, net::MessageType::kToken, tok.Encode());
 }
 
 void UpdateEngine::LeaderEvaluate(const wire::Token& token) {
@@ -369,7 +396,21 @@ void UpdateEngine::LeaderEvaluate(const wire::Token& token) {
     token_running_ = false;
     return;
   }
+  // Two identical rounds with sent != recv mean the deficit cannot resolve
+  // itself: a counted message never outlives a full ring pass, so the
+  // missing receives were lost to a peer crash. Pause instead of passing
+  // tokens forever; fresh intra-SCC activity at the leader resumes the ring
+  // (a later session restarts detection with clean counters anyway).
+  bool stalled = token.sum_sent != token.sum_recv &&
+                 last_round_.has_value() &&
+                 last_round_->sum_sent == token.sum_sent &&
+                 last_round_->sum_recv == token.sum_recv &&
+                 last_round_->all_ready == token.all_ready;
   last_round_ = token;
+  if (stalled) {
+    token_running_ = false;
+    return;
+  }
   LeaderStartPass();
 }
 
@@ -388,11 +429,23 @@ void UpdateEngine::OnReopen(NodeId from, const wire::Reopen& msg) {
 }
 
 void UpdateEngine::CountIntraSccSend(NodeId to) {
-  if (scc_.size() > 1 && scc_.count(to)) ++intra_sent_;
+  if (scc_.size() > 1 && scc_.count(to)) {
+    ++intra_sent_;
+    ResumeRingIfPaused();
+  }
 }
 
 void UpdateEngine::CountIntraSccRecv(NodeId from) {
-  if (scc_.size() > 1 && scc_.count(from)) ++intra_recv_;
+  if (scc_.size() > 1 && scc_.count(from)) {
+    ++intra_recv_;
+    ResumeRingIfPaused();
+  }
+}
+
+void UpdateEngine::ResumeRingIfPaused() {
+  if (token_running_ || !IsRingLeader() || state_ == State::kIdle) return;
+  last_round_.reset();
+  LeaderStartPass();
 }
 
 // --- Query-dependent update --------------------------------------------------

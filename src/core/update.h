@@ -145,6 +145,9 @@ class UpdateEngine {
   void LeaderEvaluate(const wire::Token& token);
   void CountIntraSccSend(NodeId to);
   void CountIntraSccRecv(NodeId from);
+  /// Restarts token passes after a crash-induced pause (see LeaderEvaluate)
+  /// once new intra-SCC activity touches the leader.
+  void ResumeRingIfPaused();
 
   void ForwardPartial(const std::set<std::string>& relations,
                       std::vector<NodeId> sn_path);

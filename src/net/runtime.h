@@ -32,7 +32,13 @@ class Runtime {
   virtual ~Runtime() = default;
 
   /// Registers the handler for node `id`. Must happen before Run().
+  /// Re-registering an id replaces the previous handler (a restarted peer).
   virtual void RegisterPeer(NodeId id, PeerHandler* handler) = 0;
+
+  /// Removes the handler for `id`: subsequent deliveries to it are dropped,
+  /// modelling a crashed peer process. Default: no-op (runtimes without crash
+  /// support keep delivering to the registered handler).
+  virtual void UnregisterPeer(NodeId id) { (void)id; }
 
   /// Queues a message for asynchronous delivery. Callable from handlers.
   virtual void Send(Message msg) = 0;
@@ -44,6 +50,15 @@ class Runtime {
   /// Delivers messages until the network is quiescent (no message in flight
   /// and no handler running). Returns an error on runaway executions.
   virtual Status Run() = 0;
+
+  /// Delivers messages up to (and including) `time_micros`, leaving later
+  /// ones queued — the hook churn drivers use to crash a peer mid-run.
+  /// Default: runs to quiescence (runtimes without a controllable clock
+  /// cannot stop mid-flight).
+  virtual Status RunUntil(uint64_t time_micros) {
+    (void)time_micros;
+    return Run();
+  }
 
   /// Current time in microseconds: simulated (SimRuntime) or wall-clock
   /// elapsed since construction (ThreadRuntime).

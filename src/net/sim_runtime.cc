@@ -1,5 +1,7 @@
 #include "src/net/sim_runtime.h"
 
+#include <limits>
+
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
@@ -11,6 +13,8 @@ SimRuntime::SimRuntime(Options options)
 void SimRuntime::RegisterPeer(NodeId id, PeerHandler* handler) {
   peers_[id] = handler;
 }
+
+void SimRuntime::UnregisterPeer(NodeId id) { peers_.erase(id); }
 
 namespace {
 bool IsIdempotentType(MessageType type) {
@@ -59,9 +63,9 @@ void SimRuntime::ScheduleSend(uint64_t time_micros, Message msg) {
   queue_.push(Event{delivery, msg.seq, std::move(msg)});
 }
 
-Status SimRuntime::Run() {
+Status SimRuntime::Drain(uint64_t until_micros) {
   uint64_t events_this_run = 0;
-  while (!queue_.empty()) {
+  while (!queue_.empty() && queue_.top().time <= until_micros) {
     Event ev = queue_.top();
     queue_.pop();
     now_micros_ = ev.time;
@@ -74,6 +78,9 @@ Status SimRuntime::Run() {
     }
     auto it = peers_.find(ev.msg.to);
     if (it == peers_.end()) {
+      // Destination unregistered (crashed) or never existed: the message is
+      // lost, as on a real network when the process is gone.
+      ++dropped_;
       P2PDB_LOG(kWarn) << "dropping message to unknown peer: "
                        << ev.msg.ToString();
       continue;
@@ -81,6 +88,16 @@ Status SimRuntime::Run() {
     if (tracer_) tracer_(now_micros_, ev.msg);
     it->second->OnMessage(ev.msg);
   }
+  return Status::OK();
+}
+
+Status SimRuntime::Run() {
+  return Drain(std::numeric_limits<uint64_t>::max());
+}
+
+Status SimRuntime::RunUntil(uint64_t time_micros) {
+  P2PDB_RETURN_IF_ERROR(Drain(time_micros));
+  if (now_micros_ < time_micros) now_micros_ = time_micros;
   return Status::OK();
 }
 

@@ -34,15 +34,24 @@ class SimRuntime : public Runtime {
   explicit SimRuntime(Options options);
 
   void RegisterPeer(NodeId id, PeerHandler* handler) override;
+  void UnregisterPeer(NodeId id) override;
   void Send(Message msg) override;
   void ScheduleSend(uint64_t time_micros, Message msg) override;
   Status Run() override;
+  /// Delivers events with time <= `time_micros`, then advances the clock to
+  /// exactly that time (so crash/restart boundaries are deterministic).
+  Status RunUntil(uint64_t time_micros) override;
   uint64_t NowMicros() const override { return now_micros_; }
 
   /// Number of messages delivered so far (across Run calls).
   uint64_t delivered_count() const { return delivered_; }
 
+  /// Messages dropped because their destination was unregistered (crashed).
+  uint64_t dropped_count() const { return dropped_; }
+
  private:
+  Status Drain(uint64_t until_micros);
+
   struct Event {
     uint64_t time;
     uint64_t seq;
@@ -57,6 +66,7 @@ class SimRuntime : public Runtime {
   uint64_t now_micros_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t delivered_ = 0;
+  uint64_t dropped_ = 0;
   std::map<NodeId, PeerHandler*> peers_;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   // Last scheduled delivery time per directed link, to enforce FIFO.

@@ -76,6 +76,14 @@ class NullFactory {
     return (SeqOf(null_id) >> 24) & 0xffu;
   }
 
+  /// Advances the counter so the next Fresh() mints a sequence strictly above
+  /// `seq` (the low 24 bits of an existing id). Used after crash recovery:
+  /// a restarted factory must not re-mint ids already in the recovered
+  /// database.
+  void ReserveThrough(uint32_t seq) {
+    if (next_seq_ <= seq) next_seq_ = seq + 1;
+  }
+
   uint64_t minted_count() const { return next_seq_; }
 
  private:

@@ -1,0 +1,73 @@
+// Storage: the durability hook a peer drives. The peer reports every update
+// delta its chase applies and offers its full database for checkpointing; an
+// implementation decides what (if anything) reaches disk. Recover() rebuilds
+// the last durable database state so a crashed peer can rejoin the network
+// with its data instead of starting empty — the durability backbone of the
+// paper's robustness claim under peer churn.
+#ifndef P2PDB_STORAGE_STORAGE_H_
+#define P2PDB_STORAGE_STORAGE_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/relational/database.h"
+#include "src/relational/tuple.h"
+#include "src/util/status.h"
+
+namespace p2pdb::storage {
+
+/// Tuples inserted by one chase application, keyed by relation — the same
+/// shape the update engine's semi-naive feed uses.
+using DeltaMap = std::map<std::string, std::set<rel::Tuple>>;
+
+/// What Recover() rebuilt, for reporting and benchmarks.
+struct RecoveryInfo {
+  bool had_checkpoint = false;
+  uint64_t wal_records_replayed = 0;
+  uint64_t wal_bytes_scanned = 0;
+  bool wal_tail_truncated = false;
+  uint64_t tuples_recovered = 0;
+};
+
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  /// Durably records one applied update delta.
+  virtual Status LogDelta(const DeltaMap& delta) = 0;
+
+  /// Establishes the durable base state: checkpoints `db` iff no checkpoint
+  /// exists yet. Called when storage is attached to a peer, so that WAL
+  /// replay always has the schemas and seed data to apply deltas onto.
+  virtual Status EnsureBase(const rel::Database& db) = 0;
+
+  /// Gives the implementation a chance to checkpoint `db` (and truncate the
+  /// log); called after every applied delta.
+  virtual Status MaybeCheckpoint(const rel::Database& db) = 0;
+
+  /// Checkpoints `db` now.
+  virtual Status Checkpoint(const rel::Database& db) = 0;
+
+  /// Rebuilds the last durable database state (checkpoint + WAL replay).
+  virtual Result<rel::Database> Recover(RecoveryInfo* info) = 0;
+};
+
+/// In-memory no-op default: peers without durability pay nothing and existing
+/// behaviour is unchanged. Recover() fails — there is no durable state.
+class NullStorage : public Storage {
+ public:
+  Status LogDelta(const DeltaMap&) override { return Status::OK(); }
+  Status EnsureBase(const rel::Database&) override { return Status::OK(); }
+  Status MaybeCheckpoint(const rel::Database&) override {
+    return Status::OK();
+  }
+  Status Checkpoint(const rel::Database&) override { return Status::OK(); }
+  Result<rel::Database> Recover(RecoveryInfo*) override {
+    return Status::Unsupported("NullStorage holds no durable state");
+  }
+};
+
+}  // namespace p2pdb::storage
+
+#endif  // P2PDB_STORAGE_STORAGE_H_

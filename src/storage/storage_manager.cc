@@ -1,0 +1,121 @@
+#include "src/storage/storage_manager.h"
+
+#include <filesystem>
+
+#include "src/relational/codec.h"
+#include "src/storage/checkpoint.h"
+#include "src/util/serde.h"
+
+namespace p2pdb::storage {
+
+namespace {
+/// Record kind tag, first byte of every WAL payload (room for future kinds,
+/// e.g. rule changes or compaction markers).
+constexpr uint8_t kDeltaRecord = 1;
+
+std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
+}  // namespace
+
+std::vector<uint8_t> EncodeDelta(const DeltaMap& delta) {
+  Writer w;
+  w.PutU8(kDeltaRecord);
+  w.PutVarint(delta.size());
+  for (const auto& [relation, tuples] : delta) {
+    w.PutString(relation);
+    rel::EncodeTupleSet(tuples, &w);
+  }
+  return w.bytes();
+}
+
+Result<DeltaMap> DecodeDelta(const std::vector<uint8_t>& payload) {
+  Reader r(payload);
+  auto kind = r.GetU8();
+  if (!kind.ok()) return kind.status();
+  if (*kind != kDeltaRecord) {
+    return Status::ParseError("unknown WAL record kind " +
+                              std::to_string(*kind));
+  }
+  auto relation_count = r.GetVarint();
+  if (!relation_count.ok()) return relation_count.status();
+  DeltaMap delta;
+  for (uint64_t i = 0; i < *relation_count; ++i) {
+    auto relation = r.GetString();
+    if (!relation.ok()) return relation.status();
+    auto tuples = rel::DecodeTupleSet(&r);
+    if (!tuples.ok()) return tuples.status();
+    delta[std::move(*relation)] = std::move(*tuples);
+  }
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes in WAL record");
+  return delta;
+}
+
+Result<std::unique_ptr<StorageManager>> StorageManager::Open(
+    const StorageOptions& options) {
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create storage directory " + options.dir +
+                            ": " + ec.message());
+  }
+  auto wal = WalWriter::Open(WalPath(options.dir), options.sync);
+  if (!wal.ok()) return wal.status();
+  return std::unique_ptr<StorageManager>(
+      new StorageManager(options, std::move(*wal)));
+}
+
+Status StorageManager::LogDelta(const DeltaMap& delta) {
+  if (delta.empty()) return Status::OK();
+  return wal_->Append(EncodeDelta(delta));
+}
+
+Status StorageManager::EnsureBase(const rel::Database& db) {
+  if (CheckpointExists(options_.dir)) return Status::OK();
+  return Checkpoint(db);
+}
+
+Status StorageManager::MaybeCheckpoint(const rel::Database& db) {
+  if (wal_->size_bytes() < options_.checkpoint_wal_bytes) return Status::OK();
+  return Checkpoint(db);
+}
+
+Status StorageManager::Checkpoint(const rel::Database& db) {
+  P2PDB_RETURN_IF_ERROR(SaveCheckpoint(db, options_.dir));
+  ++checkpoints_taken_;
+  return wal_->Reset();
+}
+
+Result<rel::Database> StorageManager::Recover(RecoveryInfo* info) {
+  RecoveryInfo local;
+  RecoveryInfo* out = info != nullptr ? info : &local;
+  *out = RecoveryInfo{};
+
+  auto checkpoint = LoadCheckpoint(options_.dir);
+  if (!checkpoint.ok()) return checkpoint.status();
+  out->had_checkpoint = true;
+  rel::Database db = std::move(*checkpoint);
+
+  auto wal = ReadWalFile(WalPath(options_.dir));
+  if (!wal.ok()) return wal.status();
+  out->wal_bytes_scanned = wal->valid_bytes;
+  out->wal_tail_truncated = wal->tail_corrupt;
+  for (const std::vector<uint8_t>& payload : wal->records) {
+    auto delta = DecodeDelta(payload);
+    if (!delta.ok()) return delta.status();
+    for (const auto& [relation, tuples] : *delta) {
+      auto target = db.GetMutable(relation);
+      if (!target.ok()) {
+        return Status::Internal("WAL delta for relation '" + relation +
+                                "' absent from the checkpoint");
+      }
+      for (const rel::Tuple& t : tuples) {
+        auto inserted = (*target)->Insert(t);
+        if (!inserted.ok()) return inserted.status();
+      }
+    }
+    ++out->wal_records_replayed;
+  }
+  out->tuples_recovered = db.TotalTuples();
+  return db;
+}
+
+}  // namespace p2pdb::storage

@@ -1,0 +1,192 @@
+#include "src/storage/wal.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/serde.h"
+
+namespace p2pdb::storage {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x4c573250;  // "P2WL" little-endian.
+constexpr uint32_t kWalVersion = 1;
+constexpr size_t kHeaderBytes = 8;        // magic + version
+constexpr size_t kRecordHeaderBytes = 8;  // length + crc
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+Status FsyncFile(std::FILE* f, const std::string& path) {
+  if (std::fflush(f) != 0) {
+    return Status::Internal("fflush failed for " + path);
+  }
+  if (::fsync(::fileno(f)) != 0) {
+    return Status::Internal("fsync failed for " + path + ": " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeHeader() {
+  Writer w;
+  w.PutU32(kWalMagic);
+  w.PutU32(kWalVersion);
+  return w.bytes();
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  const std::array<uint32_t, 256>& table = CrcTable();
+  uint32_t c = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+Result<WalContents> ReadWalFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::vector<uint8_t> bytes;
+  uint8_t buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  std::fclose(f);
+
+  if (bytes.size() < kHeaderBytes) {
+    // A crash during WAL creation (or Reset) can leave a partial header:
+    // torn tail at offset zero, not a foreign file. No records survive it.
+    WalContents out;
+    out.valid_bytes = 0;
+    out.tail_corrupt = !bytes.empty();
+    return out;
+  }
+  Reader header(bytes.data(), kHeaderBytes);
+  if (*header.GetU32() != kWalMagic) {
+    return Status::ParseError(path + " is not a p2pdb WAL");
+  }
+  if (*header.GetU32() != kWalVersion) {
+    return Status::Unsupported("WAL format version in " + path);
+  }
+
+  WalContents out;
+  size_t pos = kHeaderBytes;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kRecordHeaderBytes) break;  // Torn record header.
+    Reader r(bytes.data() + pos, kRecordHeaderBytes);
+    uint32_t length = *r.GetU32();
+    uint32_t crc = *r.GetU32();
+    if (bytes.size() - pos - kRecordHeaderBytes < length) break;  // Torn body.
+    const uint8_t* payload = bytes.data() + pos + kRecordHeaderBytes;
+    if (Crc32(payload, length) != crc) break;  // Corrupt (torn write).
+    out.records.emplace_back(payload, payload + length);
+    pos += kRecordHeaderBytes + length;
+  }
+  out.valid_bytes = pos;
+  out.tail_corrupt = pos < bytes.size();
+  return out;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   SyncMode sync) {
+  uint64_t valid_bytes = kHeaderBytes;
+  auto existing = ReadWalFile(path);
+  if (existing.ok() && existing->valid_bytes >= kHeaderBytes) {
+    valid_bytes = existing->valid_bytes;
+    if (existing->tail_corrupt &&
+        ::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+      return Status::Internal("cannot truncate torn tail of " + path);
+    }
+  } else if (existing.ok() ||
+             existing.status().code() == StatusCode::kNotFound) {
+    // Missing file, or a header torn by a crash mid-creation: start fresh.
+    std::FILE* fresh = std::fopen(path.c_str(), "wb");
+    if (fresh == nullptr) return Status::Internal("cannot create " + path);
+    std::vector<uint8_t> header = EncodeHeader();
+    size_t written = std::fwrite(header.data(), 1, header.size(), fresh);
+    Status st = sync == SyncMode::kSync ? FsyncFile(fresh, path) : Status::OK();
+    if (std::fclose(fresh) != 0 || written != header.size() || !st.ok()) {
+      return Status::Internal("cannot write WAL header to " + path);
+    }
+  } else {
+    return existing.status();  // Foreign file; refuse to append to it.
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(path, sync, f, valid_bytes));
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WalWriter::Append(const std::vector<uint8_t>& payload) {
+  if (file_ == nullptr) return Status::Internal(path_ + " is not open");
+  Writer header;
+  header.PutU32(static_cast<uint32_t>(payload.size()));
+  header.PutU32(Crc32(payload));
+  if (std::fwrite(header.bytes().data(), 1, header.size(), file_) !=
+      header.size()) {
+    return Status::Internal("short write to " + path_);
+  }
+  if (!payload.empty() &&
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    return Status::Internal("short write to " + path_);
+  }
+  // Flush to the OS always (the record survives a process crash); reach
+  // stable media only under kSync.
+  if (sync_ == SyncMode::kSync) {
+    P2PDB_RETURN_IF_ERROR(FsyncFile(file_, path_));
+  } else if (std::fflush(file_) != 0) {
+    return Status::Internal("fflush failed for " + path_);
+  }
+  size_bytes_ += header.size() + payload.size();
+  ++appended_records_;
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr) return Status::Internal(path_ + " is not open");
+  return FsyncFile(file_, path_);
+}
+
+Status WalWriter::Reset() {
+  std::fclose(file_);
+  file_ = nullptr;
+  std::FILE* fresh = std::fopen(path_.c_str(), "wb");
+  if (fresh == nullptr) return Status::Internal("cannot reset " + path_);
+  std::vector<uint8_t> header = EncodeHeader();
+  size_t written = std::fwrite(header.data(), 1, header.size(), fresh);
+  Status st = sync_ == SyncMode::kSync ? FsyncFile(fresh, path_) : Status::OK();
+  if (written != header.size() || !st.ok()) {
+    std::fclose(fresh);
+    return Status::Internal("cannot rewrite WAL header in " + path_);
+  }
+  file_ = fresh;
+  size_bytes_ = kHeaderBytes;
+  return Status::OK();
+}
+
+}  // namespace p2pdb::storage

@@ -1,0 +1,91 @@
+// Write-ahead log: an append-only file of CRC-checked, length-prefixed binary
+// records. The peer's storage manager appends one record per applied update
+// delta; on recovery the log is replayed on top of the last checkpoint.
+//
+// On-disk layout:
+//   header:  u32 magic "P2WL", u32 format version
+//   record:  u32 payload length, u32 CRC-32 of the payload, payload bytes
+//
+// A crash can leave a torn tail (a partially written record). Readers stop at
+// the first incomplete or CRC-mismatching record and report the clean prefix;
+// WalWriter::Open truncates that torn tail before appending, so a log never
+// accumulates garbage in the middle.
+#ifndef P2PDB_STORAGE_WAL_H_
+#define P2PDB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace p2pdb::storage {
+
+/// Whether appends are flushed to the OS only (fast, loses the tail on power
+/// failure) or fsync'd to stable media (durable, slow).
+enum class SyncMode { kNoSync, kSync };
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a byte range.
+uint32_t Crc32(const uint8_t* data, size_t size);
+inline uint32_t Crc32(const std::vector<uint8_t>& bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+/// Result of scanning a WAL file: every intact record in order, the length of
+/// the clean prefix, and whether a torn/corrupt tail was dropped.
+struct WalContents {
+  std::vector<std::vector<uint8_t>> records;
+  uint64_t valid_bytes = 0;
+  bool tail_corrupt = false;
+};
+
+/// Reads every intact record of a WAL file. Missing file => NotFound; a file
+/// too short to hold the header or with a foreign magic => ParseError. A torn
+/// or corrupt tail is tolerated: replay stops there and `tail_corrupt` is set.
+Result<WalContents> ReadWalFile(const std::string& path);
+
+/// Appends records to a WAL file. Open() creates the file (with header) when
+/// missing and truncates any torn tail of an existing log before appending.
+class WalWriter {
+ public:
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 SyncMode sync);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record. Always flushed to the OS; fsync'd under kSync.
+  Status Append(const std::vector<uint8_t>& payload);
+
+  /// Forces an fsync regardless of the sync mode.
+  Status Sync();
+
+  /// Truncates the log back to an empty (header-only) state; used after a
+  /// checkpoint has made the logged records redundant.
+  Status Reset();
+
+  /// Current file size in bytes (header + intact records).
+  uint64_t size_bytes() const { return size_bytes_; }
+  /// Records appended through this writer (excludes pre-existing ones).
+  uint64_t appended_records() const { return appended_records_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, SyncMode sync, std::FILE* file,
+            uint64_t size_bytes)
+      : path_(std::move(path)), sync_(sync), file_(file),
+        size_bytes_(size_bytes) {}
+
+  std::string path_;
+  SyncMode sync_;
+  std::FILE* file_ = nullptr;
+  uint64_t size_bytes_ = 0;
+  uint64_t appended_records_ = 0;
+};
+
+}  // namespace p2pdb::storage
+
+#endif  // P2PDB_STORAGE_WAL_H_

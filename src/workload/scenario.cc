@@ -1,5 +1,8 @@
 #include "src/workload/scenario.h"
 
+#include <algorithm>
+
+#include "src/core/dependency.h"
 #include "src/lang/parser.h"
 #include "src/util/string_util.h"
 #include "src/workload/rulegen.h"
@@ -80,6 +83,42 @@ rule r6: A.a(X, Y) => D.d(Y, X);
 rule r7: D.d(X, Y), D.d(Y, Z) => C.c(X, Y);
 )";
   return lang::ParseSystem(kExample);
+}
+
+Result<core::ChurnScript> PlanCrashRestart(const core::P2PSystem& system,
+                                           NodeId super_peer,
+                                           const ChurnPlanOptions& options) {
+  if (super_peer >= system.node_count()) {
+    return Status::InvalidArgument("super peer out of range");
+  }
+  core::DependencyGraph graph =
+      core::DependencyGraph::FromRules(system.rules());
+  std::set<NodeId> participants = graph.ReachableFrom(super_peer);
+  participants.erase(super_peer);  // The initiator itself never crashes.
+  std::vector<NodeId> candidates(participants.begin(), participants.end());
+  if (candidates.empty()) {
+    return Status::InvalidArgument(
+        "no crash candidates: the super-peer reaches no other node");
+  }
+  Rng rng(options.seed);
+  rng.Shuffle(&candidates);
+
+  size_t crashes = std::min(options.crashes, candidates.size());
+  core::ChurnScript script;
+  for (size_t i = 0; i < crashes; ++i) {
+    uint64_t crash_at = options.crash_at_micros +
+                        static_cast<uint64_t>(i) * options.stagger_micros;
+    script.push_back(core::ChurnEvent::Crash(crash_at, candidates[i]));
+    script.push_back(core::ChurnEvent::Restart(
+        crash_at + options.downtime_micros, candidates[i]));
+  }
+  // Stable: a zero-downtime crash/restart pair shares a timestamp and must
+  // keep its crash-before-restart push order.
+  std::stable_sort(script.begin(), script.end(),
+                   [](const core::ChurnEvent& a, const core::ChurnEvent& b) {
+                     return a.at_micros < b.at_micros;
+                   });
+  return script;
 }
 
 }  // namespace p2pdb::workload

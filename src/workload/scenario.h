@@ -4,6 +4,7 @@
 #ifndef P2PDB_WORKLOAD_SCENARIO_H_
 #define P2PDB_WORKLOAD_SCENARIO_H_
 
+#include "src/core/dynamics.h"
 #include "src/core/system.h"
 #include "src/workload/dblp.h"
 #include "src/workload/topology.h"
@@ -32,6 +33,27 @@ Result<core::P2PSystem> BuildScenario(const ScenarioOptions& options);
 /// rules r1..r7, plus a few seed facts at E (source) and B so that an update
 /// has data to move.
 Result<core::P2PSystem> MakeRunningExample();
+
+/// Options for the crash-restart churn generator.
+struct ChurnPlanOptions {
+  /// How many distinct peers crash.
+  size_t crashes = 1;
+  /// Simulated time of the first crash (mid-propagation for typical runs).
+  uint64_t crash_at_micros = 2'000;
+  /// How long each crashed peer stays down before restarting.
+  uint64_t downtime_micros = 5'000;
+  /// Spacing between successive victims' crash times.
+  uint64_t stagger_micros = 1'000;
+  uint64_t seed = 13;
+};
+
+/// Builds a crash/restart script for the experiments: victims are drawn
+/// (deterministically from the seed) from the peers that participate in the
+/// super-peer's update — nodes reachable from it over dependency edges — so
+/// every crash actually interrupts propagation.
+Result<core::ChurnScript> PlanCrashRestart(const core::P2PSystem& system,
+                                           NodeId super_peer,
+                                           const ChurnPlanOptions& options);
 
 }  // namespace p2pdb::workload
 

@@ -1,0 +1,207 @@
+// Crash-recovery integration on the deterministic sim runtime: a peer with
+// durable storage crashes mid-propagation, loses its volatile state and every
+// in-flight message, restarts from checkpoint + WAL replay, rejoins through
+// the ordinary discovery/session path, and the network re-converges to the
+// same global fix-point a never-crashed run reaches (up to renaming of
+// labeled nulls).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/core/global_fixpoint.h"
+#include "src/core/session.h"
+#include "src/net/sim_runtime.h"
+#include "src/relational/null_iso.h"
+#include "src/storage/storage_manager.h"
+#include "src/util/log_capture.h"
+#include "src/workload/scenario.h"
+
+namespace p2pdb::core {
+namespace {
+
+std::string FreshRoot(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/p2pdb_recovery_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Opens (or reopens) one durable backend per node under `root`, as a
+/// restarted peer process would reopen its data directory.
+Session::StorageProvider DirProvider(const std::string& root) {
+  return [root](NodeId node) -> std::unique_ptr<storage::Storage> {
+    storage::StorageOptions options;
+    options.dir = root + "/peer" + std::to_string(node);
+    auto manager = storage::StorageManager::Open(options);
+    EXPECT_TRUE(manager.ok()) << manager.status().ToString();
+    return manager.ok() ? std::move(*manager) : nullptr;
+  };
+}
+
+/// Runs discovery + one full update with no churn and returns the final
+/// per-node databases.
+std::vector<rel::Database> BaselineRun(const P2PSystem& system) {
+  net::SimRuntime rt;
+  Session session(system, &rt);
+  EXPECT_TRUE(session.RunDiscovery().ok());
+  EXPECT_TRUE(session.RunUpdate().ok());
+  EXPECT_TRUE(session.AllClosed());
+  return session.SnapshotDatabases();
+}
+
+TEST(RecoveryTest, CrashedPeerRecoversItsExactPreCrashDatabase) {
+  // Low-level primitives: crash a peer mid-propagation and check that
+  // restart-from-storage reproduces its database bit for bit (the WAL logged
+  // every applied delta) while in-flight messages to it are dropped.
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+  auto victim = system->NodeByName("B");
+  ASSERT_TRUE(victim.ok());
+  std::string root = FreshRoot("exact");
+  Session::StorageProvider provider = DirProvider(root);
+
+  net::SimRuntime rt;
+  Session session(*system, &rt);
+  ASSERT_TRUE(session.RunDiscovery().ok());
+  ASSERT_TRUE(session.AttachStorage(*victim, provider(*victim)).ok());
+
+  session.peer(0).StartUpdate(77);
+  ASSERT_TRUE(rt.RunUntil(rt.NowMicros() + 3'000).ok());
+  rel::Database pre_crash = session.peer(*victim).db();
+  ASSERT_GT(pre_crash.TotalTuples(), 0u);
+
+  ScopedLogCapture quiet;  // Dropped-message warnings are expected.
+  ASSERT_TRUE(session.CrashPeer(*victim).ok());
+  EXPECT_FALSE(session.IsAlive(*victim));
+  ASSERT_TRUE(rt.Run().ok());  // Drain; deliveries to the victim are lost.
+
+  ASSERT_TRUE(session.RestartPeer(*victim, provider(*victim)).ok());
+  ASSERT_TRUE(session.IsAlive(*victim));
+  EXPECT_TRUE(session.peer(*victim).db() == pre_crash);
+
+  // Rejoin via the existing discovery/session path and close globally.
+  ASSERT_TRUE(session.Rediscover().ok());
+  ASSERT_TRUE(session.RunUpdate().ok());
+  EXPECT_TRUE(session.AllClosed());
+}
+
+TEST(RecoveryTest, RunningExampleChurnReachesNeverCrashedFixpoint) {
+  // The acceptance scenario: crash B mid-propagation of the Section-2
+  // running example, restart it from checkpoint + WAL, and compare the
+  // re-converged network against a never-crashed run, node by node.
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+  std::vector<rel::Database> baseline = BaselineRun(*system);
+
+  std::string root = FreshRoot("running_example");
+  net::SimRuntime rt;
+  Session session(*system, &rt);
+  ASSERT_TRUE(session.RunDiscovery().ok());
+
+  auto victim = system->NodeByName("B");
+  ASSERT_TRUE(victim.ok());
+  ChurnScript churn = {ChurnEvent::Crash(3'000, *victim),
+                       ChurnEvent::Restart(9'000, *victim)};
+  ScopedLogCapture quiet;
+  ASSERT_TRUE(session.RunUpdateWithChurn(churn, DirProvider(root)).ok());
+  ASSERT_TRUE(session.AllClosed());
+
+  for (size_t n = 0; n < session.peer_count(); ++n) {
+    EXPECT_TRUE(
+        rel::DatabasesIsomorphic(session.peer(n).db(), baseline[n]))
+        << "node " << n << " diverged from the never-crashed run";
+  }
+}
+
+TEST(RecoveryTest, GeneratedScenarioWithNullsSurvivesMultiPeerChurn) {
+  // Heterogeneous-schema translation rules mint labeled nulls; two peers
+  // crash (staggered) and restart. The rejoined network must match the
+  // never-crashed fix-point up to null renaming.
+  workload::ScenarioOptions options;
+  options.topology.kind = workload::TopologySpec::Kind::kTree;
+  options.topology.nodes = 8;
+  options.records_per_node = 6;
+  auto system = workload::BuildScenario(options);
+  ASSERT_TRUE(system.ok());
+  std::vector<rel::Database> baseline = BaselineRun(*system);
+
+  workload::ChurnPlanOptions plan;
+  plan.crashes = 2;
+  plan.crash_at_micros = 2'500;
+  plan.downtime_micros = 6'000;
+  auto churn = workload::PlanCrashRestart(*system, /*super_peer=*/0, plan);
+  ASSERT_TRUE(churn.ok()) << churn.status().ToString();
+  ASSERT_TRUE(ValidateChurnScript(*churn, system->node_count()).ok());
+
+  std::string root = FreshRoot("generated");
+  net::SimRuntime rt;
+  Session session(*system, &rt);
+  ASSERT_TRUE(session.RunDiscovery().ok());
+  ScopedLogCapture quiet;
+  ASSERT_TRUE(session.RunUpdateWithChurn(*churn, DirProvider(root)).ok());
+  ASSERT_TRUE(session.AllClosed());
+
+  for (size_t n = 0; n < session.peer_count(); ++n) {
+    EXPECT_TRUE(rel::DatabasesIsomorphic(session.peer(n).db(), baseline[n]))
+        << "node " << n;
+  }
+}
+
+TEST(RecoveryTest, ChurnMatchesGlobalFixpointBaseline) {
+  // Same churn run, judged against the independent global (centralized)
+  // fix-point computation instead of a second distributed run.
+  workload::ScenarioOptions options;
+  options.topology.kind = workload::TopologySpec::Kind::kLayeredDag;
+  options.topology.nodes = 9;
+  options.topology.layers = 3;
+  options.records_per_node = 5;
+  auto system = workload::BuildScenario(options);
+  ASSERT_TRUE(system.ok());
+
+  auto churn = workload::PlanCrashRestart(*system, /*super_peer=*/0,
+                                          workload::ChurnPlanOptions{});
+  ASSERT_TRUE(churn.ok());
+
+  std::string root = FreshRoot("global_baseline");
+  net::SimRuntime rt;
+  Session session(*system, &rt);
+  ASSERT_TRUE(session.RunDiscovery().ok());
+  ScopedLogCapture quiet;
+  ASSERT_TRUE(session.RunUpdateWithChurn(*churn, DirProvider(root)).ok());
+  ASSERT_TRUE(session.AllClosed());
+
+  auto global = ComputeGlobalFixpoint(*system, rel::ChaseOptions{});
+  ASSERT_TRUE(global.ok());
+  for (NodeId n : session.Participants()) {
+    EXPECT_TRUE(rel::DatabasesCertainEqual(session.peer(n).db(),
+                                           global->node_dbs[n]))
+        << "node " << n;
+  }
+}
+
+TEST(RecoveryTest, RestartWithoutPriorCrashIsRejected) {
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+  net::SimRuntime rt;
+  Session session(*system, &rt);
+  std::string root = FreshRoot("guards");
+  EXPECT_FALSE(session.RestartPeer(1, DirProvider(root)(1)).ok());
+  EXPECT_FALSE(session.CrashPeer(99).ok());
+
+  ChurnScript bad = {ChurnEvent::Restart(1'000, 1)};
+  EXPECT_FALSE(session.RunUpdateWithChurn(bad, DirProvider(root)).ok());
+}
+
+TEST(RecoveryTest, ZeroDowntimePlanKeepsCrashBeforeRestart) {
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+  workload::ChurnPlanOptions plan;
+  plan.crashes = 3;
+  plan.downtime_micros = 0;  // Crash and restart share a timestamp.
+  plan.stagger_micros = 0;
+  auto churn = workload::PlanCrashRestart(*system, /*super_peer=*/0, plan);
+  ASSERT_TRUE(churn.ok()) << churn.status().ToString();
+  EXPECT_TRUE(ValidateChurnScript(*churn, system->node_count()).ok());
+}
+
+}  // namespace
+}  // namespace p2pdb::core

@@ -1,0 +1,272 @@
+// WAL framing: CRC-checked records, torn-write and corrupt-tail tolerance
+// (replay stops at the first damaged record; Open truncates the damage away
+// before appending).
+#include "src/storage/wal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+namespace p2pdb::storage {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/p2pdb_wal_" + name + ".log";
+}
+
+std::vector<uint8_t> Payload(std::initializer_list<int> bytes) {
+  std::vector<uint8_t> out;
+  for (int b : bytes) out.push_back(static_cast<uint8_t>(b));
+  return out;
+}
+
+/// Truncates a file to `size` bytes (simulating a crash mid-write).
+void TruncateFile(const std::string& path, long size) {
+  ASSERT_EQ(::truncate(path.c_str(), size), 0);
+}
+
+/// XORs one byte of the file at `offset` (simulating media corruption).
+void FlipByte(const std::string& path, long offset) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  std::fputc(byte ^ 0xff, f);
+  std::fclose(f);
+}
+
+long FileSize(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}
+
+TEST(WalTest, Crc32MatchesIeeeCheckValue) {
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(check.data()), check.size()),
+            0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(WalTest, FreshLogIsEmpty) {
+  std::string path = TestPath("fresh");
+  std::remove(path.c_str());
+  auto writer = WalWriter::Open(path, SyncMode::kNoSync);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  auto contents = ReadWalFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->records.empty());
+  EXPECT_FALSE(contents->tail_corrupt);
+  EXPECT_EQ(contents->valid_bytes, 8u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, AppendReadBackRoundTrip) {
+  std::string path = TestPath("roundtrip");
+  std::remove(path.c_str());
+  auto writer = WalWriter::Open(path, SyncMode::kSync);
+  ASSERT_TRUE(writer.ok());
+  std::vector<std::vector<uint8_t>> payloads = {
+      Payload({1, 2, 3}), Payload({}), Payload({0xff, 0x00, 0x7f, 42})};
+  for (const auto& p : payloads) {
+    ASSERT_TRUE((*writer)->Append(p).ok());
+  }
+  EXPECT_EQ((*writer)->appended_records(), 3u);
+  auto contents = ReadWalFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->records, payloads);
+  EXPECT_FALSE(contents->tail_corrupt);
+  EXPECT_EQ(contents->valid_bytes,
+            static_cast<uint64_t>(FileSize(path)));
+  EXPECT_EQ((*writer)->size_bytes(), contents->valid_bytes);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, ReopenAppendsAfterExistingRecords) {
+  std::string path = TestPath("reopen");
+  std::remove(path.c_str());
+  {
+    auto writer = WalWriter::Open(path, SyncMode::kNoSync);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(Payload({1})).ok());
+  }
+  {
+    auto writer = WalWriter::Open(path, SyncMode::kNoSync);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(Payload({2})).ok());
+  }
+  auto contents = ReadWalFile(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 2u);
+  EXPECT_EQ(contents->records[0], Payload({1}));
+  EXPECT_EQ(contents->records[1], Payload({2}));
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TornRecordTailIsTolerated) {
+  std::string path = TestPath("torn");
+  std::remove(path.c_str());
+  {
+    auto writer = WalWriter::Open(path, SyncMode::kNoSync);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(Payload({1, 2, 3})).ok());
+    ASSERT_TRUE((*writer)->Append(Payload({4, 5, 6})).ok());
+  }
+  // Chop into the middle of the second record's payload.
+  TruncateFile(path, FileSize(path) - 2);
+  auto contents = ReadWalFile(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(contents->records[0], Payload({1, 2, 3}));
+  EXPECT_TRUE(contents->tail_corrupt);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TornHeaderTailIsTolerated) {
+  std::string path = TestPath("torn_header");
+  std::remove(path.c_str());
+  {
+    auto writer = WalWriter::Open(path, SyncMode::kNoSync);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(Payload({9})).ok());
+    ASSERT_TRUE((*writer)->Append(Payload({8})).ok());
+  }
+  // Leave only 3 bytes of the second record's 8-byte header.
+  TruncateFile(path, 8 + 8 + 1 + 3);
+  auto contents = ReadWalFile(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_TRUE(contents->tail_corrupt);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, CorruptCrcStopsReplayAtDamage) {
+  std::string path = TestPath("crc");
+  std::remove(path.c_str());
+  {
+    auto writer = WalWriter::Open(path, SyncMode::kNoSync);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(Payload({1, 2, 3})).ok());
+    ASSERT_TRUE((*writer)->Append(Payload({4, 5, 6})).ok());
+    ASSERT_TRUE((*writer)->Append(Payload({7, 8, 9})).ok());
+  }
+  // Flip a byte inside the second record's stored CRC
+  // (offset: file header 8, record 1 is 8+3 bytes, then 4 length bytes).
+  FlipByte(path, 8 + 11 + 4);
+  auto contents = ReadWalFile(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(contents->records[0], Payload({1, 2, 3}));
+  EXPECT_TRUE(contents->tail_corrupt);
+
+  // Flipping payload bytes (not the CRC) is detected the same way.
+  std::remove(path.c_str());
+  {
+    auto writer = WalWriter::Open(path, SyncMode::kNoSync);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(Payload({1, 2, 3})).ok());
+    ASSERT_TRUE((*writer)->Append(Payload({4, 5, 6})).ok());
+  }
+  FlipByte(path, 8 + 11 + 8);  // First payload byte of record 2.
+  contents = ReadWalFile(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_TRUE(contents->tail_corrupt);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, OpenTruncatesTornTailBeforeAppending) {
+  std::string path = TestPath("open_truncates");
+  std::remove(path.c_str());
+  {
+    auto writer = WalWriter::Open(path, SyncMode::kNoSync);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(Payload({1})).ok());
+    ASSERT_TRUE((*writer)->Append(Payload({2})).ok());
+  }
+  TruncateFile(path, FileSize(path) - 1);  // Tear record 2.
+  {
+    auto writer = WalWriter::Open(path, SyncMode::kNoSync);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(Payload({3})).ok());
+  }
+  auto contents = ReadWalFile(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 2u);
+  EXPECT_EQ(contents->records[0], Payload({1}));
+  EXPECT_EQ(contents->records[1], Payload({3}));
+  EXPECT_FALSE(contents->tail_corrupt);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, ResetEmptiesTheLog) {
+  std::string path = TestPath("reset");
+  std::remove(path.c_str());
+  auto writer = WalWriter::Open(path, SyncMode::kNoSync);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(Payload({1, 2})).ok());
+  ASSERT_TRUE((*writer)->Reset().ok());
+  EXPECT_EQ((*writer)->size_bytes(), 8u);
+  ASSERT_TRUE((*writer)->Append(Payload({3})).ok());
+  auto contents = ReadWalFile(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(contents->records[0], Payload({3}));
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TornHeaderStartsFresh) {
+  // A crash during WAL creation (or Reset) can leave fewer bytes than the
+  // header; that must read as an empty log and Open must rewrite it, not
+  // brick the peer's storage.
+  std::string path = TestPath("torn_file_header");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputc('P', f);
+  std::fputc('2', f);
+  std::fclose(f);
+
+  auto contents = ReadWalFile(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_TRUE(contents->records.empty());
+  EXPECT_TRUE(contents->tail_corrupt);
+  EXPECT_EQ(contents->valid_bytes, 0u);
+
+  auto writer = WalWriter::Open(path, SyncMode::kNoSync);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE((*writer)->Append(Payload({5})).ok());
+  contents = ReadWalFile(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(contents->records[0], Payload({5}));
+  EXPECT_FALSE(contents->tail_corrupt);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, MissingFileIsNotFound) {
+  auto contents = ReadWalFile(::testing::TempDir() + "/p2pdb_wal_nope.log");
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kNotFound);
+}
+
+TEST(WalTest, ForeignFileIsRejected) {
+  std::string path = TestPath("foreign");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a WAL at all", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadWalFile(path).ok());
+  // Open must refuse too instead of appending to a foreign file.
+  EXPECT_FALSE(WalWriter::Open(path, SyncMode::kNoSync).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace p2pdb::storage
