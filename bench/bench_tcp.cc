@@ -1,0 +1,298 @@
+// TCP runtime bench: frame-codec throughput (encode/decode, small and large
+// payloads), raw loopback ping-pong latency, and end-to-end discovery+update
+// wall-clock on TcpRuntime vs ThreadRuntime (same scenario, same protocol —
+// the delta is the socket hop plus quiescence detection over sockets).
+// Emits BENCH_tcp.json in the same shape as the other harnesses.
+//
+//   ./bench_tcp [--out FILE] [--repeat N] [--filter SUBSTR]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/net/frame.h"
+#include "src/net/tcp_runtime.h"
+#include "src/net/thread_runtime.h"
+
+namespace p2pdb::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct BenchResult {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  double Metric(const std::string& key) const {
+    for (const auto& [k, v] : metrics) {
+      if (k == key) return v;
+    }
+    return 0;
+  }
+};
+
+net::Message MakeMessage(size_t payload_bytes) {
+  net::Message msg;
+  msg.type = net::MessageType::kQueryAnswer;
+  msg.from = 3;
+  msg.to = 250;
+  msg.seq = 123'456;
+  msg.payload.assign(payload_bytes, 0x5c);
+  return msg;
+}
+
+/// Frame codec throughput: encode + decode `count` messages of one size.
+BenchResult FrameCodecBench(const std::string& name, size_t payload_bytes,
+                            size_t count) {
+  BenchResult result;
+  result.name = name;
+  net::Message msg = MakeMessage(payload_bytes);
+  uint64_t checksum = 0;  // Defeats dead-code elimination.
+  auto start = Clock::now();
+  for (size_t i = 0; i < count; ++i) {
+    msg.seq = i;
+    std::vector<uint8_t> frame = net::EncodeFrame(msg);
+    auto decoded = net::DecodeFrame(frame);
+    if (!decoded.ok()) return result;
+    checksum += decoded->seq + decoded->payload.size();
+  }
+  double wall_ms = MsSince(start);
+  double wall_s = wall_ms / 1000.0;
+  double bytes = static_cast<double>(count) *
+                 static_cast<double>(msg.WireSize());
+  result.metrics = {
+      {"wall_ms", wall_ms},
+      {"messages", static_cast<double>(count)},
+      {"payload_bytes", static_cast<double>(payload_bytes)},
+      {"checksum", static_cast<double>(checksum % 1000)},
+      {"msgs_per_sec", wall_s > 0 ? count / wall_s : 0},
+      {"mb_per_sec", wall_s > 0 ? bytes / (1024 * 1024) / wall_s : 0},
+  };
+  return result;
+}
+
+/// Replies to every message until `budget` replies are spent.
+class PongPeer : public net::PeerHandler {
+ public:
+  PongPeer(NodeId id, net::Runtime* rt, uint64_t budget)
+      : id_(id), runtime_(rt), budget_(budget) {}
+
+  void OnMessage(const net::Message& msg) override {
+    received_.fetch_add(1);
+    if (budget_ == 0) return;
+    --budget_;
+    net::Message reply;
+    reply.type = msg.type;
+    reply.from = id_;
+    reply.to = msg.from;
+    reply.payload = msg.payload;
+    runtime_->Send(reply);
+  }
+
+  uint64_t received() const { return received_.load(); }
+
+ private:
+  NodeId id_;
+  net::Runtime* runtime_;
+  uint64_t budget_;
+  std::atomic<uint64_t> received_{0};
+};
+
+/// Raw loopback round-trip latency over real sockets: one ping-pong chain of
+/// `round_trips` exchanges, timed outside Run()'s quiescence overhead.
+BenchResult TcpPingPongBench(const std::string& name, size_t round_trips,
+                             size_t payload_bytes) {
+  BenchResult result;
+  result.name = name;
+  net::TcpRuntime rt;
+  // Peer 1 echoes forever (within budget); peer 0 re-serves until done.
+  PongPeer a(0, &rt, round_trips - 1);
+  PongPeer b(1, &rt, round_trips);
+  rt.RegisterPeer(0, &a);
+  rt.RegisterPeer(1, &b);
+  if (!rt.Run().ok()) return result;  // Starts worker threads; network idle.
+
+  net::Message ping = MakeMessage(payload_bytes);
+  ping.from = 0;
+  ping.to = 1;
+  auto start = Clock::now();
+  auto deadline = start + std::chrono::seconds(60);
+  rt.Send(ping);
+  while (a.received() < round_trips) {
+    // The chain is strictly sequential: one lost frame would otherwise spin
+    // this loop forever.
+    if (Clock::now() > deadline) return result;
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+  double wall_ms = MsSince(start);
+  double hops = static_cast<double>(2 * round_trips);
+  result.metrics = {
+      {"wall_ms", wall_ms},
+      {"round_trips", static_cast<double>(round_trips)},
+      {"payload_bytes", static_cast<double>(payload_bytes)},
+      {"rtt_micros", round_trips > 0 ? wall_ms * 1000.0 / round_trips : 0},
+      {"hop_micros", hops > 0 ? wall_ms * 1000.0 / hops : 0},
+  };
+  return result;
+}
+
+/// End-to-end discovery + global update through a Session on one runtime.
+BenchResult SessionUpdateBench(const std::string& name, net::Runtime* rt,
+                               size_t nodes, size_t records) {
+  BenchResult result;
+  result.name = name;
+  workload::ScenarioOptions options;
+  options.topology.kind = workload::TopologySpec::Kind::kTree;
+  options.topology.nodes = nodes;
+  options.records_per_node = records;
+  auto system = workload::BuildScenario(options);
+  if (!system.ok()) return result;
+
+  core::Session session(*system, rt);
+  auto start = Clock::now();
+  if (!session.RunDiscovery().ok()) return result;
+  double discovery_ms = MsSince(start);
+  start = Clock::now();
+  if (!session.RunUpdate().ok()) return result;
+  double update_ms = MsSince(start);
+
+  uint64_t inserted = 0;
+  for (size_t n = 0; n < session.peer_count(); ++n) {
+    inserted += session.peer(n).update().stats().tuples_inserted;
+  }
+  result.metrics = {
+      {"wall_ms", discovery_ms + update_ms},
+      {"discovery_ms", discovery_ms},
+      {"update_ms", update_ms},
+      {"nodes", static_cast<double>(nodes)},
+      {"messages", static_cast<double>(rt->stats().total_messages())},
+      {"bytes", static_cast<double>(rt->stats().total_bytes())},
+      {"tuples_inserted", static_cast<double>(inserted)},
+      {"all_closed", session.AllClosed() ? 1.0 : 0.0},
+  };
+  return result;
+}
+
+BenchResult Best(BenchResult a, BenchResult b) {
+  if (a.metrics.empty()) return b;
+  if (b.metrics.empty()) return a;
+  return a.Metric("wall_ms") <= b.Metric("wall_ms") ? a : b;
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<BenchResult>& results, int repeat) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << "{\n  \"suite\": \"p2pdb_tcp\",\n  \"repeat\": " << repeat
+      << ",\n  \"full_scale\": " << (FullScale() ? "true" : "false")
+      << ",\n  \"benches\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    out << "    {\n      \"name\": \"" << results[i].name << "\"";
+    for (const auto& [key, value] : results[i].metrics) {
+      out << ",\n      \"" << key << "\": " << value;
+    }
+    out << "\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.flush();
+  return !out.fail();
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_tcp.json";
+  std::string filter;
+  int repeat = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--filter") == 0 && i + 1 < argc) {
+      filter = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_tcp [--out FILE] [--repeat N] "
+                   "[--filter SUBSTR]\n");
+      return 2;
+    }
+  }
+
+  const size_t codec_count = FullScale() ? 2'000'000 : 200'000;
+  const size_t codec_large = FullScale() ? 20'000 : 5'000;
+  const size_t pings = FullScale() ? 20'000 : 2'000;
+  const size_t nodes = 8;
+  const size_t records = FullScale() ? 100 : 25;
+  using Maker = std::function<BenchResult()>;
+  std::vector<std::pair<std::string, Maker>> cases = {
+      {"frame_codec_64b",
+       [&] { return FrameCodecBench("frame_codec_64b", 64, codec_count); }},
+      {"frame_codec_64kb",
+       [&] {
+         return FrameCodecBench("frame_codec_64kb", 64 * 1024, codec_large);
+       }},
+      {"tcp_pingpong_64b",
+       [&] { return TcpPingPongBench("tcp_pingpong_64b", pings, 64); }},
+      {"tcp_pingpong_4kb",
+       [&] {
+         return TcpPingPongBench("tcp_pingpong_4kb", pings / 4, 4096);
+       }},
+      {"update_thread_tree8",
+       [&] {
+         net::ThreadRuntime rt;
+         return SessionUpdateBench("update_thread_tree8", &rt, nodes, records);
+       }},
+      {"update_tcp_tree8",
+       [&] {
+         net::TcpRuntime rt;
+         return SessionUpdateBench("update_tcp_tree8", &rt, nodes, records);
+       }},
+  };
+
+  PrintHeader("bench_tcp: frame codec / loopback socket runtime suite");
+  std::printf("%-22s %10s %14s %14s\n", "bench", "wall_ms", "msgs/s|RTTus",
+              "MB/s|msgs");
+
+  std::vector<BenchResult> results;
+  for (const auto& [name, make] : cases) {
+    if (!filter.empty() && name.find(filter) == std::string::npos) continue;
+    BenchResult best;
+    for (int r = 0; r < repeat; ++r) best = Best(std::move(best), make());
+    if (best.metrics.empty()) {
+      std::fprintf(stderr, "error: bench %s failed\n", name.c_str());
+      return 1;
+    }
+    double rate = best.Metric("msgs_per_sec") + best.Metric("rtt_micros");
+    double volume = best.Metric("mb_per_sec") + best.Metric("messages");
+    std::printf("%-22s %10.2f %14.0f %14.0f\n", best.name.c_str(),
+                best.Metric("wall_ms"), rate, volume);
+    results.push_back(std::move(best));
+  }
+
+  if (results.empty()) {
+    std::fprintf(stderr, "no benches matched filter '%s'\n", filter.c_str());
+    return 1;
+  }
+  if (!WriteJson(out_path, results, repeat)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%zu benches)\n", out_path.c_str(), results.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace p2pdb::bench
+
+int main(int argc, char** argv) { return p2pdb::bench::Main(argc, argv); }

@@ -8,6 +8,7 @@
 # bench, can be run/emitted without the full update suite):
 #   main      end-to-end update suite (default; emits BENCH_p2pdb.json)
 #   recovery  WAL/checkpoint/crash-recovery suite (emits BENCH_recovery.json)
+#   tcp       frame codec + loopback socket runtime suite (emits BENCH_tcp.json)
 # Extra args (e.g. --filter SUBSTR, --repeat N) are passed through.
 #
 # Env: P2PDB_BENCH_REPEAT (default 2), P2PDB_BENCH_FULL=1 for paper-scale
@@ -40,8 +41,9 @@ done
 case "$BENCH" in
   main)     TARGET=bench_main;     DEFAULT_OUT=BENCH_p2pdb.json ;;
   recovery) TARGET=bench_recovery; DEFAULT_OUT=BENCH_recovery.json ;;
+  tcp)      TARGET=bench_tcp;      DEFAULT_OUT=BENCH_tcp.json ;;
   *)
-    echo "error: unknown bench '$BENCH' (expected: main, recovery)" >&2
+    echo "error: unknown bench '$BENCH' (expected: main, recovery, tcp)" >&2
     exit 2
     ;;
 esac

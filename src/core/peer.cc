@@ -1,10 +1,20 @@
 #include "src/core/peer.h"
 
+#include <map>
+
 #include "src/core/dependency.h"
 #include "src/relational/eval.h"
 #include "src/util/logging.h"
 
 namespace p2pdb::core {
+
+namespace {
+std::vector<uint8_t> EncodeRuleBytes(const CoordinationRule& rule) {
+  Writer w;
+  wire::EncodeRule(rule, &w);
+  return w.bytes();
+}
+}  // namespace
 
 Peer::Peer(NodeId id, std::string name, rel::Database db,
            net::Runtime* runtime, Config config)
@@ -16,10 +26,16 @@ Peer::Peer(NodeId id, std::string name, rel::Database db,
       config_(config) {
   discovery_ = std::make_unique<DiscoveryEngine>(this);
   update_ = std::make_unique<UpdateEngine>(this, config_.update);
-  runtime_->RegisterPeer(id_, this);
+  if (config_.register_with_runtime) Register();
 }
 
-Peer::~Peer() = default;
+Peer::~Peer() {
+  // Detach before members die: on concurrent runtimes UnregisterPeer blocks
+  // until any in-progress OnMessage returns, so dispatch never dangles.
+  runtime_->UnregisterPeer(id_);
+}
+
+void Peer::Register() { runtime_->RegisterPeer(id_, this); }
 
 Status Peer::AddInitialRule(const CoordinationRule& rule) {
   if (rule.head_node != id_) {
@@ -70,6 +86,15 @@ void Peer::OnDeltaApplied(const storage::DeltaMap& delta) {
   }
 }
 
+void Peer::LogRuleChange(const wire::RuleChangeRecord& record) {
+  if (storage_ == nullptr) return;
+  Status logged = storage_->LogRuleChange(record.Encode());
+  if (!logged.ok()) {
+    P2PDB_LOG(kError) << "rule-change WAL append failed at node " << id_
+                      << ": " << logged.ToString();
+  }
+}
+
 Result<storage::RecoveryInfo> Peer::Recover() {
   if (storage_ == nullptr) {
     return Status::InvalidArgument("no storage attached to node " +
@@ -79,6 +104,56 @@ Result<storage::RecoveryInfo> Peer::Recover() {
   auto db = storage_->Recover(&info);
   if (!db.ok()) return db.status();
   db_ = std::move(*db);
+  // Replay mid-session rule changes over the (re-registered) initial rules,
+  // in log order: an add of a known id is a no-op, a delete of an unknown id
+  // is a no-op, so replay is idempotent like the data replay.
+  std::map<std::string, std::vector<uint8_t>> initial_rules;
+  for (const CoordinationRule& r : rules_) {
+    initial_rules[r.id] = EncodeRuleBytes(r);
+  }
+  for (const std::vector<uint8_t>& blob : info.rule_changes) {
+    auto record = wire::RuleChangeRecord::Decode(blob);
+    if (!record.ok()) return record.status();
+    if (record->kind == wire::RuleChangeRecord::Kind::kAdd) {
+      Status added = AddInitialRule(record->rule);
+      if (!added.ok() && added.code() != StatusCode::kAlreadyExists) {
+        return added;
+      }
+    } else {
+      for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+        if (it->id == record->rule_id) {
+          rules_.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  if (!info.rule_changes.empty()) {
+    // Compact the durable history to the net initial->current diff, so it
+    // stays bounded by the rule count instead of the lifetime change count
+    // (an add cancelled by a later delete leaves no record at all).
+    std::vector<std::vector<uint8_t>> canonical;
+    std::set<std::string> current_ids;
+    for (const CoordinationRule& r : rules_) {
+      current_ids.insert(r.id);
+      auto initial = initial_rules.find(r.id);
+      if (initial == initial_rules.end()) {
+        canonical.push_back(wire::RuleChangeRecord::Add(r).Encode());
+      } else if (initial->second != EncodeRuleBytes(r)) {
+        // Same id, different rule (deleted and re-added): replay must clear
+        // the initial version before the add can take effect.
+        canonical.push_back(wire::RuleChangeRecord::Delete(r.id).Encode());
+        canonical.push_back(wire::RuleChangeRecord::Add(r).Encode());
+      }
+    }
+    for (const auto& [id, bytes] : initial_rules) {
+      (void)bytes;
+      if (current_ids.count(id) == 0) {
+        canonical.push_back(wire::RuleChangeRecord::Delete(id).Encode());
+      }
+    }
+    P2PDB_RETURN_IF_ERROR(storage_->ResetRuleChanges(std::move(canonical)));
+  }
   // The recovered instance contains every null this node minted before the
   // crash (heads insert invented nulls locally, and data is never retracted);
   // advance the factory past all of them so fresh nulls cannot collide.

@@ -26,13 +26,23 @@ class Peer : public net::PeerHandler {
     /// Attach current partial edge knowledge to duplicate discovery answers
     /// (the paper's eager gossip; costs bytes, changes nothing final).
     bool eager_discovery_answers = false;
+    /// Register with the runtime at construction (the normal case). A
+    /// restarting peer defers — on concurrent runtimes messages start
+    /// arriving the moment the peer is registered, which must not overlap
+    /// Recover() rebuilding the database — and calls Register() when ready.
+    bool register_with_runtime = true;
   };
 
   Peer(NodeId id, std::string name, rel::Database db, net::Runtime* runtime,
        Config config);
   Peer(NodeId id, std::string name, rel::Database db, net::Runtime* runtime)
       : Peer(id, std::move(name), std::move(db), runtime, Config{}) {}
+  /// Unregisters from the runtime, so no dispatch can outlive the peer.
   ~Peer() override;
+
+  /// Registers with the runtime (idempotent); only needed after deferred
+  /// construction (see Config::register_with_runtime).
+  void Register();
 
   Peer(const Peer&) = delete;
   Peer& operator=(const Peer&) = delete;
@@ -68,10 +78,17 @@ class Peer : public net::PeerHandler {
   /// protocol must keep running even if the disk misbehaves.
   void OnDeltaApplied(const storage::DeltaMap& delta);
 
+  /// Called by the update engine after a dynamic rule change mutates this
+  /// node's rule list; logs it so Recover() replays the change. Errors are
+  /// logged, not propagated (same policy as OnDeltaApplied).
+  void LogRuleChange(const wire::RuleChangeRecord& record);
+
   /// Rebuilds the database from storage (checkpoint + WAL replay), advances
-  /// the null factory past every recovered null this node minted, and
-  /// compacts the recovered state into a fresh checkpoint. Must be called
-  /// before any protocol activity on this peer.
+  /// the null factory past every recovered null this node minted, replays
+  /// logged rule changes on top of the current rule list, and compacts the
+  /// recovered state into a fresh checkpoint. Must be called before any
+  /// protocol activity on this peer — and, for rule replay to land on the
+  /// right base, after the initial rules have been re-registered.
   Result<storage::RecoveryInfo> Recover();
 
   // net::PeerHandler: decode and dispatch.

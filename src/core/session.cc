@@ -121,16 +121,28 @@ Status Session::RestartPeer(NodeId id,
     return Status::InvalidArgument("node " + std::to_string(id) +
                                    " is still alive");
   }
+  // Deferred registration: on concurrent runtimes (thread/TCP) messages flow
+  // the instant a peer is registered, which must not overlap recovery.
+  Peer::Config config = options_.peer;
+  config.register_with_runtime = false;
   auto peer = std::make_unique<Peer>(id, names_[id], rel::Database(), runtime_,
-                                     options_.peer);
+                                     config);
   P2PDB_RETURN_IF_ERROR(peer->AttachStorage(std::move(storage)));
-  auto info = peer->Recover();
-  if (!info.ok()) return info.status();
+  // Initial rules first: Recover() replays logged mid-session rule changes
+  // (addLink/deleteLink) on top of them, so a rule deleted before the crash
+  // stays deleted and one added mid-session reappears without re-delivery.
   for (const CoordinationRule& rule : initial_rules_) {
     if (rule.head_node != id) continue;
     Status st = peer->AddInitialRule(rule);
     if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
   }
+  auto info = peer->Recover();
+  if (!info.ok()) return info.status();
+  peer->Register();  // Open for business: recovered state is in place.
+  // RegisterPeer cannot fail, but delivery can be impossible anyway (a
+  // socket runtime that could not bind a listener): surface that here
+  // instead of letting the restarted peer silently drop everything.
+  P2PDB_RETURN_IF_ERROR(runtime_->PeerReady(id));
   peers_[id] = std::move(peer);
   return Status::OK();
 }

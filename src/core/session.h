@@ -90,12 +90,13 @@ class Session {
   }
 
   /// Runs one update session from the super-peer while executing `churn` at
-  /// its simulated times (requires a runtime with a controllable clock, e.g.
-  /// SimRuntime): crashing peers get storage attached up front, crashes and
-  /// restarts fire mid-propagation, and after the script drains every
-  /// restarted peer rejoins through rediscovery plus a fresh update session,
-  /// re-converging the whole network (the protocol is monotone, so the
-  /// second session is idempotent on already-complete peers).
+  /// its times — simulated micros on SimRuntime (deterministic), elapsed
+  /// wall-clock micros on the thread/TCP runtimes (best effort, via their
+  /// sleeping RunUntil): crashing peers get storage attached up front,
+  /// crashes and restarts fire mid-propagation, and after the script drains
+  /// every restarted peer rejoins through rediscovery plus a fresh update
+  /// session, re-converging the whole network (the protocol is monotone, so
+  /// the second session is idempotent on already-complete peers).
   Status RunUpdateWithChurn(const ChurnScript& churn,
                             const StorageProvider& storage_for);
 
@@ -130,8 +131,8 @@ class Session {
   std::vector<std::unique_ptr<Peer>> peers_;  // null entry = crashed peer
   /// Retained for restarts: node names and the system's initial rules (a
   /// restarted head re-learns "all rules of which it is a target"; rule
-  /// changes applied after session start must be re-delivered by the change
-  /// driver, as in the paper's notification model).
+  /// changes applied after session start are replayed from the peer's WAL by
+  /// Peer::Recover, so the change driver need not re-deliver them).
   std::vector<std::string> names_;
   std::vector<CoordinationRule> initial_rules_;
   uint64_t next_session_ = 1;

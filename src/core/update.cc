@@ -169,7 +169,28 @@ void UpdateEngine::OnQueryAnswer(NodeId from, const wire::QueryAnswer& msg) {
     ReopenSelf();
   }
   if (changed) NotifySubscribers();
+  // The closed flag came from outside the SCC, invisible to the intra-SCC
+  // counters — a paused ring would never observe the readiness change.
+  if (msg.source_closed && !part_was_closed &&
+      !scc_.count(rr.rule.body[msg.part].node)) {
+    PokeRingIfReady();
+  }
   MaybeCloseTrivial();
+}
+
+void UpdateEngine::PokeRingIfReady() {
+  // A member of a non-trivial SCC cannot close itself — the ring does — and
+  // the leader pauses the ring when rounds stop changing. Whenever an event
+  // the counters cannot see makes this node externally ready (an external
+  // source's closed flag, a deleteLink dropping the last open external
+  // part), poke the leader so detection resumes.
+  if (scc_.size() <= 1 || state_ == State::kIdle || !ExternallyReady()) return;
+  if (IsRingLeader()) {
+    ResumeRingIfPaused();
+  } else {
+    wire::Reopen poke{session_};
+    peer_->Send(*scc_.begin(), net::MessageType::kReopen, poke.Encode());
+  }
 }
 
 bool UpdateEngine::JoinAndApply(RuleRuntime* rr, uint32_t delta_part,
@@ -365,8 +386,9 @@ void UpdateEngine::OnToken(NodeId from, const wire::Token& msg) {
   }
   // A node whose SCC view is out of step with the ring (e.g. freshly
   // restarted, topology not yet re-discovered) cannot route the token; its
-  // "successor" may be itself. Drop it instead of looping — the ring stalls
-  // until rediscovery or a new session restores consistent routing.
+  // "successor" may be unknown or itself. Drop it instead of looping — the
+  // ring stalls until rediscovery or a new session restores routing.
+  if (scc_.size() <= 1) return;
   NodeId next = RingSuccessor(peer_->id());
   if (next == peer_->id()) return;
   wire::Token tok = msg;
@@ -379,12 +401,11 @@ void UpdateEngine::OnToken(NodeId from, const wire::Token& msg) {
 void UpdateEngine::LeaderEvaluate(const wire::Token& token) {
   // Mattern four-counter check: two consecutive passes observed identical
   // monotone counters with sent == recv, and every member externally ready.
-  bool quiescent = token.all_ready && token.sum_sent == token.sum_recv &&
-                   last_round_.has_value() &&
-                   last_round_->sum_sent == token.sum_sent &&
-                   last_round_->sum_recv == token.sum_recv &&
-                   last_round_->all_ready;
-  if (quiescent) {
+  bool repeated = last_round_.has_value() &&
+                  last_round_->sum_sent == token.sum_sent &&
+                  last_round_->sum_recv == token.sum_recv &&
+                  last_round_->all_ready == token.all_ready;
+  if (repeated && token.all_ready && token.sum_sent == token.sum_recv) {
     wire::SccClosed done{session_};
     for (NodeId m : scc_) {
       if (m != peer_->id()) {
@@ -396,18 +417,16 @@ void UpdateEngine::LeaderEvaluate(const wire::Token& token) {
     token_running_ = false;
     return;
   }
-  // Two identical rounds with sent != recv mean the deficit cannot resolve
-  // itself: a counted message never outlives a full ring pass, so the
-  // missing receives were lost to a peer crash. Pause instead of passing
-  // tokens forever; fresh intra-SCC activity at the leader resumes the ring
-  // (a later session restarts detection with clean counters anyway).
-  bool stalled = token.sum_sent != token.sum_recv &&
-                 last_round_.has_value() &&
-                 last_round_->sum_sent == token.sum_sent &&
-                 last_round_->sum_recv == token.sum_recv &&
-                 last_round_->all_ready == token.all_ready;
   last_round_ = token;
-  if (stalled) {
+  if (repeated) {
+    // Two identical non-quiescent rounds: the ring alone cannot make
+    // progress. Either receives were lost to a peer crash (sent != recv — a
+    // counted message never outlives a full ring pass), or a member is not
+    // externally ready and only non-ring traffic can change that (e.g. a
+    // freshly restarted member still idle, whose balanced counters died with
+    // it). Pause instead of passing tokens forever; fresh intra-SCC activity
+    // at the leader, a member's readiness poke (Reopen), or a new session's
+    // clean counters resume detection.
     token_running_ = false;
     return;
   }
@@ -505,6 +524,7 @@ void UpdateEngine::OnAddRule(NodeId from, const wire::AddRuleChange& msg) {
     if (r.id == msg.rule.id) return;  // Duplicate notification.
   }
   peer_->mutable_rules()->push_back(msg.rule);
+  peer_->LogRuleChange(wire::RuleChangeRecord::Add(msg.rule));
   if (state_ == State::kIdle) return;  // Will subscribe when a session starts.
   RuleRuntime* rr = EnsureRuleRuntime(msg.rule);
   if (state_ == State::kClosed) ReopenSelf();
@@ -527,6 +547,7 @@ void UpdateEngine::OnDeleteRule(NodeId from, const wire::DeleteRuleChange& msg) 
   for (auto rit = rules->begin(); rit != rules->end(); ++rit) {
     if (rit->id == msg.rule_id) {
       rules->erase(rit);
+      peer_->LogRuleChange(wire::RuleChangeRecord::Delete(msg.rule_id));
       break;
     }
   }
@@ -541,7 +562,9 @@ void UpdateEngine::OnDeleteRule(NodeId from, const wire::DeleteRuleChange& msg) 
     peer_->Send(target, net::MessageType::kUnsubscribe, unsub.Encode());
   }
   rule_runtimes_.erase(it);
-  // Dropping a rule can unblock closure (fewer parts to wait for).
+  // Dropping a rule can unblock closure (fewer parts to wait for) — in a
+  // non-trivial SCC that means waking a ring paused on this node's account.
+  PokeRingIfReady();
   MaybeCloseTrivial();
 }
 

@@ -134,6 +134,10 @@ class UpdateEngine {
   /// Closes this node if it is open, externally ready, and not in a
   /// non-trivial SCC; then notifies subscribers.
   void MaybeCloseTrivial();
+  /// Ring counterpart of MaybeCloseTrivial: when an event invisible to the
+  /// intra-SCC counters makes this member externally ready, wake a paused
+  /// leader (directly, or with a Reopen poke).
+  void PokeRingIfReady();
   void CloseSelf(bool notify_in_scc);
   void ReopenSelf();
   bool ExternallyReady() const;

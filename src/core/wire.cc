@@ -436,4 +436,49 @@ Result<DeleteRuleChange> DeleteRuleChange::Decode(
   return out;
 }
 
+RuleChangeRecord RuleChangeRecord::Add(CoordinationRule rule) {
+  RuleChangeRecord out;
+  out.kind = Kind::kAdd;
+  out.rule = std::move(rule);
+  return out;
+}
+
+RuleChangeRecord RuleChangeRecord::Delete(std::string rule_id) {
+  RuleChangeRecord out;
+  out.kind = Kind::kDelete;
+  out.rule_id = std::move(rule_id);
+  return out;
+}
+
+std::vector<uint8_t> RuleChangeRecord::Encode() const {
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(kind));
+  if (kind == Kind::kAdd) {
+    EncodeRule(rule, &w);
+  } else {
+    w.PutString(rule_id);
+  }
+  return Finish(w);
+}
+
+Result<RuleChangeRecord> RuleChangeRecord::Decode(
+    const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  RuleChangeRecord out;
+  WIRE_TRY(kind, r.GetU8());
+  if (kind == static_cast<uint8_t>(Kind::kAdd)) {
+    out.kind = Kind::kAdd;
+    WIRE_TRY(rule, DecodeRule(&r));
+    out.rule = std::move(rule);
+  } else if (kind == static_cast<uint8_t>(Kind::kDelete)) {
+    out.kind = Kind::kDelete;
+    WIRE_TRY(rule_id, r.GetString());
+    out.rule_id = std::move(rule_id);
+  } else {
+    return Status::ParseError("unknown rule-change kind " +
+                              std::to_string(kind));
+  }
+  return out;
+}
+
 }  // namespace p2pdb::core::wire

@@ -183,6 +183,23 @@ struct DeleteRuleChange {
   static Result<DeleteRuleChange> Decode(const std::vector<uint8_t>& bytes);
 };
 
+/// Durable form of one applied dynamic rule change — what a head peer writes
+/// to its WAL (storage::Storage::LogRuleChange) so that Recover() can replay
+/// mid-session addLink/deleteLink without the change driver re-delivering
+/// them. kAdd carries the full rule; kDelete only the id.
+struct RuleChangeRecord {
+  enum class Kind : uint8_t { kAdd = 1, kDelete = 2 };
+  Kind kind = Kind::kAdd;
+  CoordinationRule rule;  // kAdd only.
+  std::string rule_id;    // kDelete only.
+
+  static RuleChangeRecord Add(CoordinationRule rule);
+  static RuleChangeRecord Delete(std::string rule_id);
+
+  std::vector<uint8_t> Encode() const;
+  static Result<RuleChangeRecord> Decode(const std::vector<uint8_t>& bytes);
+};
+
 }  // namespace p2pdb::core::wire
 
 #endif  // P2PDB_CORE_WIRE_H_

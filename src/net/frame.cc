@@ -1,0 +1,109 @@
+#include "src/net/frame.h"
+
+#include "src/util/crc32.h"
+#include "src/util/serde.h"
+
+namespace p2pdb::net {
+
+namespace {
+
+constexpr size_t kLengthBytes = 4;
+constexpr size_t kCrcBytes = 4;
+
+/// Decodes the bytes after the length field (crc + header + payload), whose
+/// extent `size` the caller has already established from that field.
+Result<Message> DecodeFrameBody(const uint8_t* data, size_t size) {
+  Reader r(data, size);
+  auto crc = r.GetU32();
+  if (!crc.ok()) return Status::ParseError("frame shorter than its CRC");
+  if (Crc32(data + kCrcBytes, size - kCrcBytes) != *crc) {
+    return Status::ParseError("frame CRC mismatch");
+  }
+  auto type = r.GetU8();
+  auto from = r.GetVarint();
+  auto to = r.GetVarint();
+  auto seq = r.GetVarint();
+  if (!type.ok() || !from.ok() || !to.ok() || !seq.ok()) {
+    return Status::ParseError("truncated frame header");
+  }
+  if (!IsKnownMessageType(*type)) {
+    return Status::ParseError("unknown message type " + std::to_string(*type));
+  }
+  if (*from > kNoNode || *to > kNoNode) {
+    return Status::ParseError("frame node id out of range");
+  }
+  Message msg;
+  msg.type = static_cast<MessageType>(*type);
+  msg.from = static_cast<NodeId>(*from);
+  msg.to = static_cast<NodeId>(*to);
+  msg.seq = *seq;
+  msg.payload.assign(data + (size - r.remaining()), data + size);
+  return msg;
+}
+
+}  // namespace
+
+size_t Message::WireSize() const {
+  return kLengthBytes + kCrcBytes + 1 /* type */ + VarintLength(from) +
+         VarintLength(to) + VarintLength(seq) + payload.size();
+}
+
+std::vector<uint8_t> EncodeFrame(const Message& msg) {
+  Writer header;
+  header.PutU8(static_cast<uint8_t>(msg.type));
+  header.PutVarint(msg.from);
+  header.PutVarint(msg.to);
+  header.PutVarint(msg.seq);
+  const std::vector<uint8_t>& head = header.bytes();
+
+  uint32_t crc = Crc32Finish(
+      Crc32Update(Crc32Update(kCrc32Init, head.data(), head.size()),
+                  msg.payload.data(), msg.payload.size()));
+  Writer frame;
+  frame.PutU32(
+      static_cast<uint32_t>(kCrcBytes + head.size() + msg.payload.size()));
+  frame.PutU32(crc);
+  frame.PutRaw(head.data(), head.size());
+  frame.PutRaw(msg.payload.data(), msg.payload.size());
+  return frame.TakeBytes();
+}
+
+Result<Message> DecodeFrame(const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  auto length = r.GetU32();
+  if (!length.ok()) return Status::ParseError("frame shorter than its length");
+  if (*length > kMaxFrameBytes) {
+    return Status::ParseError("frame length " + std::to_string(*length) +
+                              " exceeds limit");
+  }
+  if (r.remaining() < *length) return Status::ParseError("truncated frame");
+  if (r.remaining() > *length) {
+    return Status::ParseError("trailing bytes after frame");
+  }
+  return DecodeFrameBody(bytes.data() + kLengthBytes, *length);
+}
+
+Status FrameAssembler::Feed(const uint8_t* data, size_t size,
+                            std::vector<Message>* out) {
+  buffer_.insert(buffer_.end(), data, data + size);
+  size_t pos = 0;
+  while (buffer_.size() - pos >= kLengthBytes) {
+    uint32_t length = 0;
+    for (int i = 0; i < 4; ++i) {
+      length |= static_cast<uint32_t>(buffer_[pos + i]) << (8 * i);
+    }
+    if (length > kMaxFrameBytes) {
+      return Status::ParseError("frame length " + std::to_string(length) +
+                                " exceeds limit; stream desynchronized");
+    }
+    if (buffer_.size() - pos - kLengthBytes < length) break;  // Partial frame.
+    auto msg = DecodeFrameBody(buffer_.data() + pos + kLengthBytes, length);
+    if (!msg.ok()) return msg.status();
+    out->push_back(msg.MoveValue());
+    pos += kLengthBytes + length;
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + pos);
+  return Status::OK();
+}
+
+}  // namespace p2pdb::net

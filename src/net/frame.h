@@ -1,0 +1,56 @@
+// Message frame codec: the on-wire form of net::Message, shared by the TCP
+// runtime (socket streams) and the statistics module (true byte volumes).
+//
+// Frame layout (little-endian, serde primitives):
+//   u32 length   bytes after this field (crc + header + payload)
+//   u32 crc      CRC-32 of everything after the crc field
+//   u8  type     MessageType
+//   varint from  sender NodeId
+//   varint to    destination NodeId
+//   varint seq   runtime-assigned sequence number
+//   payload      pre-serialized typed payload (core/wire.h)
+//
+// Like WAL records, a frame is either decoded whole or rejected: a CRC
+// mismatch or truncated header fails DecodeFrame (and makes FrameAssembler
+// report a poisoned stream, so a socket reader can drop the connection).
+#ifndef P2PDB_NET_FRAME_H_
+#define P2PDB_NET_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/message.h"
+#include "src/util/status.h"
+
+namespace p2pdb::net {
+
+/// Hard upper bound on one frame's `length` field. Anything larger is treated
+/// as stream corruption (a desynchronized or hostile sender), not a message.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Serializes `msg` into one self-delimiting frame.
+std::vector<uint8_t> EncodeFrame(const Message& msg);
+
+/// Decodes exactly one frame. Fails on truncation, trailing bytes, a CRC
+/// mismatch, an unknown message type, or an oversized length.
+Result<Message> DecodeFrame(const std::vector<uint8_t>& bytes);
+
+/// Incremental frame reassembly over an arbitrary byte stream (socket reads
+/// deliver fragments and coalesced frames alike). Feed() buffers bytes and
+/// appends every completed message to `out`; a framing error (oversized
+/// length, CRC mismatch, undecodable header) poisons the stream — the caller
+/// should close the connection, as there is no way to resynchronize.
+class FrameAssembler {
+ public:
+  Status Feed(const uint8_t* data, size_t size, std::vector<Message>* out);
+
+  /// Bytes of an incomplete frame still waiting for the rest of the stream.
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+}  // namespace p2pdb::net
+
+#endif  // P2PDB_NET_FRAME_H_

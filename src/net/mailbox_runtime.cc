@@ -1,0 +1,230 @@
+#include "src/net/mailbox_runtime.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace p2pdb::net {
+
+MailboxRuntime::MailboxRuntime(Options options)
+    : options_(options), start_time_(std::chrono::steady_clock::now()) {}
+
+MailboxRuntime::~MailboxRuntime() {
+  // Backstop only: subclasses call Shutdown() in their own destructor, while
+  // their I/O threads and the StopIo override still exist.
+  Shutdown();
+}
+
+void MailboxRuntime::RegisterPeer(NodeId id, PeerHandler* handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = mailboxes_.find(id);
+  if (it == mailboxes_.end()) {
+    auto box = std::make_unique<Mailbox>();
+    box->handler = handler;
+    Mailbox* raw = box.get();
+    mailboxes_[id] = std::move(box);
+    if (started_) {
+      threads_.emplace_back(&MailboxRuntime::PeerLoop, this, raw);
+    }
+    return;
+  }
+  // Restarted peer: the mailbox and its worker live on, only the handler is
+  // rebound.
+  std::lock_guard<std::mutex> box_lock(it->second->mutex);
+  it->second->handler = handler;
+}
+
+void MailboxRuntime::UnregisterPeer(NodeId id) {
+  Mailbox* box = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = mailboxes_.find(id);
+    if (it == mailboxes_.end()) return;
+    box = it->second.get();
+  }
+  std::unique_lock<std::mutex> box_lock(box->mutex);
+  box->handler = nullptr;
+  if (!box->queue.empty()) {
+    dropped_.fetch_add(box->queue.size());
+    in_flight_.fetch_sub(box->queue.size());
+    box->queue.clear();
+  }
+  // The caller will destroy the handler object; wait out any dispatch that
+  // captured it before we nulled the pointer.
+  box->cv.wait(box_lock, [&] { return !box->busy; });
+}
+
+void MailboxRuntime::Deliver(Message msg) {
+  Mailbox* box = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = mailboxes_.find(msg.to);
+    if (it != mailboxes_.end()) box = it->second.get();
+  }
+  if (box == nullptr) {
+    CountDrop();
+    P2PDB_LOG(kWarn) << "dropping message to unknown peer: " << msg.ToString();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> box_lock(box->mutex);
+    if (box->handler == nullptr) {
+      CountDrop();
+      P2PDB_LOG(kWarn) << "dropping message to crashed peer: "
+                       << msg.ToString();
+      return;
+    }
+    in_flight_.fetch_add(1);
+    box->queue.push_back(std::move(msg));
+  }
+  box->cv.notify_one();
+}
+
+void MailboxRuntime::ScheduleSend(uint64_t time_micros, Message msg) {
+  in_flight_.fetch_add(1);  // Released when the timer hands it to Send.
+  {
+    std::lock_guard<std::mutex> lock(timer_mutex_);
+    timer_queue_.emplace_back(time_micros, std::move(msg));
+  }
+  timer_cv_.notify_one();
+}
+
+uint64_t MailboxRuntime::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+}
+
+void MailboxRuntime::PeerLoop(Mailbox* box) {
+  for (;;) {
+    Message msg;
+    PeerHandler* handler = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(box->mutex);
+      box->cv.wait(lock, [&] { return stop_.load() || !box->queue.empty(); });
+      if (stop_.load()) return;  // Leftovers die with the runtime.
+      msg = std::move(box->queue.front());
+      box->queue.pop_front();
+      handler = box->handler;
+      box->busy = true;
+    }
+    if (handler != nullptr) {
+      if (tracer_) tracer_(NowMicros(), msg);
+      handler->OnMessage(msg);
+    } else {
+      CountDrop();  // Unregistered between enqueue and dispatch.
+    }
+    {
+      std::lock_guard<std::mutex> lock(box->mutex);
+      box->busy = false;
+    }
+    box->cv.notify_all();
+    in_flight_.fetch_sub(1);
+  }
+}
+
+void MailboxRuntime::TimerLoop() {
+  std::unique_lock<std::mutex> lock(timer_mutex_);
+  while (!stop_.load()) {
+    if (timer_queue_.empty()) {
+      timer_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      continue;
+    }
+    auto soonest = std::min_element(
+        timer_queue_.begin(), timer_queue_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    uint64_t now = NowMicros();
+    if (soonest->first > now) {
+      timer_cv_.wait_for(lock,
+                         std::chrono::microseconds(soonest->first - now));
+      continue;
+    }
+    Message msg = std::move(soonest->second);
+    timer_queue_.erase(soonest);
+    lock.unlock();
+    Send(std::move(msg));
+    in_flight_.fetch_sub(1);  // The ScheduleSend hold.
+    lock.lock();
+  }
+}
+
+void MailboxRuntime::EnsureStarted() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (started_) return;
+    started_ = true;
+    stop_.store(false);
+    for (auto& [id, box] : mailboxes_) {
+      (void)id;
+      threads_.emplace_back(&MailboxRuntime::PeerLoop, this, box.get());
+    }
+    timer_thread_ = std::thread(&MailboxRuntime::TimerLoop, this);
+  }
+  StartIo();
+}
+
+Status MailboxRuntime::Run() {
+  EnsureStarted();
+  auto deadline = std::chrono::steady_clock::now() + options_.timeout;
+  // Quiescence: in_flight_ observed zero continuously for the quiet window
+  // (handlers only send from within handlers, so zero is stable once true
+  // unless a timer later fires; pending timers keep in_flight_ > 0).
+  std::chrono::steady_clock::time_point zero_since{};
+  bool was_zero = false;
+  for (;;) {
+    auto now = std::chrono::steady_clock::now();
+    if (now > deadline) {
+      return Status::Internal(
+          "MailboxRuntime: quiescence not reached in time (in flight: " +
+          std::to_string(in_flight_.load()) + ")");
+    }
+    if (in_flight_.load() == 0) {
+      if (!was_zero) {
+        was_zero = true;
+        zero_since = now;
+      } else if (now - zero_since >= options_.quiet_window) {
+        return Status::OK();
+      }
+    } else {
+      was_zero = false;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+Status MailboxRuntime::RunUntil(uint64_t time_micros) {
+  EnsureStarted();
+  // Wall clock is not controllable: let the delivery threads work until the
+  // requested elapsed time, then hand control back (used by churn drivers to
+  // crash a peer mid-run).
+  while (NowMicros() < time_micros) {
+    uint64_t remaining = time_micros - NowMicros();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(std::min<uint64_t>(remaining, 1'000)));
+  }
+  return Status::OK();
+}
+
+void MailboxRuntime::Shutdown() {
+  StopIo();
+  std::vector<std::thread> workers;
+  std::thread timer;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) return;
+    started_ = false;
+    stop_.store(true);
+    workers.swap(threads_);
+    timer.swap(timer_thread_);
+    for (auto& [id, box] : mailboxes_) {
+      (void)id;
+      box->cv.notify_all();
+    }
+  }
+  timer_cv_.notify_all();
+  for (std::thread& t : workers) t.join();
+  if (timer.joinable()) timer.join();
+}
+
+}  // namespace p2pdb::net

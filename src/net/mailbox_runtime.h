@@ -1,0 +1,117 @@
+// MailboxRuntime: the connection-independent half of the concurrent runtimes.
+// Owns everything ThreadRuntime and TcpRuntime share — one mailbox per peer
+// with a worker thread that serializes OnMessage dispatch, a timer thread for
+// ScheduleSend, dropped-message accounting, and wall-clock quiescence
+// detection for Run(). Subclasses decide only how a sent message reaches the
+// destination mailbox: ThreadRuntime enqueues directly, TcpRuntime pushes the
+// frame through a socket whose reader calls Deliver().
+#ifndef P2PDB_NET_MAILBOX_RUNTIME_H_
+#define P2PDB_NET_MAILBOX_RUNTIME_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/net/runtime.h"
+
+namespace p2pdb::net {
+
+class MailboxRuntime : public Runtime {
+ public:
+  struct Options {
+    /// Run() fails if quiescence is not reached within this bound.
+    std::chrono::milliseconds timeout{30'000};
+    /// Run() declares quiescence once no message has been queued, timed, or
+    /// in a handler for this long, continuously. ThreadRuntime's in-flight
+    /// accounting is exact, so a small window suffices; TcpRuntime raises it
+    /// to cover the instant a frame lives only in a kernel socket buffer.
+    std::chrono::microseconds quiet_window{600};
+  };
+
+  ~MailboxRuntime() override;
+
+  /// Callable at any time: registering while running spawns the peer's worker
+  /// thread on the spot, and re-registering an id rebinds its handler (a
+  /// restarted peer process).
+  void RegisterPeer(NodeId id, PeerHandler* handler) override;
+
+  /// Detaches the handler and drops its queued messages (counted). Blocks
+  /// until any in-progress OnMessage on that peer returns, so the caller may
+  /// destroy the handler immediately afterwards.
+  void UnregisterPeer(NodeId id) override;
+
+  void ScheduleSend(uint64_t time_micros, Message msg) override;
+  Status Run() override;
+  /// Wall-clock churn hook: lets delivery threads run until `time_micros` of
+  /// elapsed time, then returns (the network need not be quiescent).
+  Status RunUntil(uint64_t time_micros) override;
+  uint64_t NowMicros() const override;
+  uint64_t dropped_count() const override { return dropped_.load(); }
+
+ protected:
+  explicit MailboxRuntime(Options options);
+
+  /// Enqueues for local dispatch to msg.to's worker; counts a drop when the
+  /// destination has no live handler. Thread-safe.
+  void Deliver(Message msg);
+
+  uint64_t NextSeq() { return next_seq_.fetch_add(1); }
+  void CountDrop() { dropped_.fetch_add(1); }
+
+  /// Work visible to quiescence detection beyond queued messages — e.g. a
+  /// TCP reader holding a partially reassembled frame. Every Hold must be
+  /// paired with a Release.
+  void HoldWork() { in_flight_.fetch_add(1); }
+  void ReleaseWork() { in_flight_.fetch_sub(1); }
+
+  /// Starts worker/timer threads (and the subclass's I/O) if not yet running.
+  void EnsureStarted();
+
+  /// Stops and joins all threads, the subclass's I/O first. Idempotent;
+  /// subclass destructors MUST call this before their members are destroyed.
+  void Shutdown();
+
+  /// Subclass I/O lifecycle, called with no internal locks held.
+  virtual void StartIo() {}
+  virtual void StopIo() {}
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+    PeerHandler* handler = nullptr;
+    bool busy = false;  // A worker is inside handler->OnMessage.
+  };
+
+  void PeerLoop(Mailbox* box);
+  void TimerLoop();
+
+  Options options_;
+  mutable std::mutex mutex_;  // Guards mailboxes_ and threads_.
+  std::map<NodeId, std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::thread> threads_;
+  std::thread timer_thread_;
+
+  // Timer queue for ScheduleSend (delayed injections).
+  std::mutex timer_mutex_;
+  std::condition_variable timer_cv_;
+  std::vector<std::pair<uint64_t, Message>> timer_queue_;
+
+  std::atomic<uint64_t> in_flight_{0};  // queued + being processed + timed
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace p2pdb::net
+
+#endif  // P2PDB_NET_MAILBOX_RUNTIME_H_

@@ -36,6 +36,26 @@ const char* MessageTypeName(MessageType type) {
   return "Unknown";
 }
 
+bool IsKnownMessageType(uint8_t raw) {
+  switch (static_cast<MessageType>(raw)) {
+    case MessageType::kDiscoverRequest:
+    case MessageType::kDiscoverAnswer:
+    case MessageType::kDiscoverClosure:
+    case MessageType::kUpdateStart:
+    case MessageType::kQueryRequest:
+    case MessageType::kQueryAnswer:
+    case MessageType::kUnsubscribe:
+    case MessageType::kPartialUpdate:
+    case MessageType::kToken:
+    case MessageType::kSccClosed:
+    case MessageType::kReopen:
+    case MessageType::kAddRule:
+    case MessageType::kDeleteRule:
+      return true;
+  }
+  return false;
+}
+
 std::string Message::ToString() const {
   return StrFormat("%s %u->%u (%zu bytes, seq %llu)", MessageTypeName(type),
                    from, to, payload.size(),

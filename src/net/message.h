@@ -34,6 +34,10 @@ enum class MessageType : uint8_t {
 
 const char* MessageTypeName(MessageType type);
 
+/// True when `raw` is the encoding of a MessageType (frame decoding rejects
+/// anything else before it reaches a peer).
+bool IsKnownMessageType(uint8_t raw);
+
 /// One message in flight.
 struct Message {
   MessageType type = MessageType::kDiscoverRequest;
@@ -43,8 +47,9 @@ struct Message {
   /// Sequence number assigned by the runtime at send time (debug/tracing).
   uint64_t seq = 0;
 
-  /// Estimated wire size: payload plus a fixed header (type, from, to, seq).
-  size_t WireSize() const { return payload.size() + 13; }
+  /// Exact size of this message's frame encoding (see net/frame.h): what a
+  /// socket carries and what the statistics module counts as bytes on a pipe.
+  size_t WireSize() const;
 
   std::string ToString() const;
 };

@@ -1,8 +1,9 @@
 // Runtime: the asynchronous message-passing substrate peers run on.
-// Two implementations share this interface: SimRuntime (deterministic
+// Three implementations share this interface: SimRuntime (deterministic
 // discrete-event simulation — used by tests and benches so time and message
-// interleavings are reproducible) and ThreadRuntime (a thread per peer with
-// mailboxes — real asynchrony, as in the paper's JXTA prototype).
+// interleavings are reproducible), ThreadRuntime (a thread per peer with
+// mailboxes — real asynchrony, as in the paper's JXTA prototype) and
+// TcpRuntime (every message crosses a real TCP socket; peers are endpoints).
 #ifndef P2PDB_NET_RUNTIME_H_
 #define P2PDB_NET_RUNTIME_H_
 
@@ -40,6 +41,15 @@ class Runtime {
   /// support keep delivering to the registered handler).
   virtual void UnregisterPeer(NodeId id) { (void)id; }
 
+  /// Whether the runtime can actually deliver to locally-registered peer
+  /// `id` — e.g. the socket runtime's listener bound successfully. Churn
+  /// drivers check this after (re)registering a peer, since RegisterPeer
+  /// itself cannot fail. Default: registered peers are always reachable.
+  virtual Status PeerReady(NodeId id) const {
+    (void)id;
+    return Status::OK();
+  }
+
   /// Queues a message for asynchronous delivery. Callable from handlers.
   virtual void Send(Message msg) = 0;
 
@@ -61,8 +71,12 @@ class Runtime {
   }
 
   /// Current time in microseconds: simulated (SimRuntime) or wall-clock
-  /// elapsed since construction (ThreadRuntime).
+  /// elapsed since construction (ThreadRuntime, TcpRuntime).
   virtual uint64_t NowMicros() const = 0;
+
+  /// Messages lost because their destination was gone: unregistered in the
+  /// simulator, or — for the socket runtime — refused/reset by the kernel.
+  virtual uint64_t dropped_count() const { return 0; }
 
   NetStats& stats() { return stats_; }
   PipeTable& pipes() { return pipes_; }

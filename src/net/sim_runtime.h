@@ -47,7 +47,7 @@ class SimRuntime : public Runtime {
   uint64_t delivered_count() const { return delivered_; }
 
   /// Messages dropped because their destination was unregistered (crashed).
-  uint64_t dropped_count() const { return dropped_; }
+  uint64_t dropped_count() const override { return dropped_; }
 
  private:
   Status Drain(uint64_t until_micros);

@@ -1,0 +1,138 @@
+// TcpRuntime: peers as real network endpoints. Every registered peer owns a
+// listening TCP socket (loopback by default, kernel-assigned port), every
+// Send() serializes the message through the frame codec (net/frame.h) and
+// writes it to a per-destination connection, and background reader threads
+// reassemble frames back into messages for the shared mailbox dispatch of
+// MailboxRuntime. The endpoint table (NodeId -> host:port) routes sends;
+// entries for local peers are filled in automatically, remote entries let a
+// network span several runtimes (or, eventually, processes).
+//
+// Churn is a connection event, as in the dynamic-P2P literature: crashing a
+// peer (UnregisterPeer) closes its listener and sockets, so messages to it
+// die in the kernel — refused connections and reset writes are what the
+// dropped counter counts, not a simulation flag. A restarted peer re-listens
+// on a fresh port; senders recover via reconnect-on-send.
+#ifndef P2PDB_NET_TCP_RUNTIME_H_
+#define P2PDB_NET_TCP_RUNTIME_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/mailbox_runtime.h"
+
+namespace p2pdb::net {
+
+class TcpRuntime : public MailboxRuntime {
+ public:
+  /// One row of the endpoint table.
+  struct Endpoint {
+    std::string host;
+    uint16_t port = 0;
+
+    std::string ToString() const;
+    /// Parses "host:port" (the on-disk/CLI endpoint table format).
+    static Result<Endpoint> Parse(const std::string& text);
+  };
+
+  struct Options {
+    /// Run() fails if quiescence is not reached within this bound.
+    std::chrono::milliseconds timeout{30'000};
+    /// Quiescence quiet window; wider than ThreadRuntime's because a frame
+    /// briefly lives only in a kernel socket buffer, invisible to the
+    /// in-flight counter.
+    std::chrono::microseconds quiet_window{25'000};
+    /// Address listeners bind to (and the host recorded for local peers).
+    std::string host = "127.0.0.1";
+  };
+
+  TcpRuntime() : TcpRuntime(Options{}) {}
+  explicit TcpRuntime(Options options);
+  ~TcpRuntime() override;
+
+  /// Registers the handler and opens the peer's listening socket; the
+  /// endpoint table gains (or updates, for a restarted peer) its row.
+  void RegisterPeer(NodeId id, PeerHandler* handler) override;
+
+  /// Crash as connection teardown: closes the peer's listener and every
+  /// socket touching it, then detaches the handler. In-flight frames die in
+  /// the kernel; later sends fail to connect and are counted dropped.
+  void UnregisterPeer(NodeId id) override;
+
+  /// Fails when `id` has no live listener (RegisterPeer could not bind, or
+  /// the peer was unregistered) — such a peer silently drops every message.
+  Status PeerReady(NodeId id) const override;
+
+  /// Frames and writes the message to the destination's endpoint, opening or
+  /// reviving the connection as needed (one reconnect attempt — a restarted
+  /// peer listens on a new port). Failures are dropped messages.
+  void Send(Message msg) override;
+
+  // --- Endpoint table ---
+
+  /// Routes sends for a peer hosted by another runtime/process.
+  void AddRemoteEndpoint(NodeId id, Endpoint endpoint);
+
+  /// The endpoint a send to `id` would use; port 0 when unknown.
+  Endpoint EndpointOf(NodeId id) const;
+
+  /// The local listening port of `id` (0 when not a listening local peer).
+  uint16_t ListenPort(NodeId id) const;
+
+  /// Printable table, one "node host:port" row per known endpoint.
+  std::string EndpointTable() const;
+
+ protected:
+  void StopIo() override;
+
+ private:
+  /// One reader thread per accepted connection; `done` lets the accept loop
+  /// reap exited readers so long-lived runtimes don't accumulate zombies.
+  struct ReaderThread {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  /// A local peer's listening socket plus the connections accepted on it.
+  struct Listener {
+    NodeId node = kNoNode;
+    int fd = -1;
+    uint16_t port = 0;
+    std::atomic<bool> stop{false};
+    std::thread accept_thread;
+    std::mutex mutex;  // Guards conn_fds and readers.
+    std::vector<int> conn_fds;
+    std::vector<std::unique_ptr<ReaderThread>> readers;
+  };
+
+  /// Cached outbound connection to one destination; writes are serialized.
+  /// Entries are never erased (fd is just closed), so pointers stay stable.
+  struct Outbound {
+    std::mutex mutex;
+    int fd = -1;
+  };
+
+  void AcceptLoop(Listener* listener);
+  void ReadLoop(Listener* listener, int fd, ReaderThread* self);
+  /// Joins and discards readers whose connection has ended.
+  static void ReapFinishedReaders(Listener* listener);
+  /// Opens a listening socket for `id` and records its endpoint.
+  Status OpenListener(NodeId id);
+  /// Extracts `id`'s listener and tears it down (joins its threads).
+  void CloseListener(NodeId id);
+  /// Closes the cached outbound connection to `id`, if any.
+  void CloseOutbound(NodeId id);
+
+  Options options_;
+  mutable std::mutex net_mutex_;  // endpoints_, listeners_, outbound_.
+  std::map<NodeId, Endpoint> endpoints_;
+  std::map<NodeId, std::unique_ptr<Listener>> listeners_;
+  std::map<NodeId, std::unique_ptr<Outbound>> outbound_;
+};
+
+}  // namespace p2pdb::net
+
+#endif  // P2PDB_NET_TCP_RUNTIME_H_

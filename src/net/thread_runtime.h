@@ -1,67 +1,26 @@
 // Thread-per-peer runtime with mailbox delivery: real asynchrony as in the
-// JXTA prototype. Run() returns when the network is quiescent (no message
-// queued, in flight, or being processed).
+// JXTA prototype, with in-process message hand-off. Run() returns when the
+// network is quiescent (no message queued, in flight, or being processed).
 #ifndef P2PDB_NET_THREAD_RUNTIME_H_
 #define P2PDB_NET_THREAD_RUNTIME_H_
 
-#include <atomic>
-#include <chrono>
-#include <condition_variable>
-#include <deque>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <vector>
-
-#include "src/net/runtime.h"
+#include "src/net/mailbox_runtime.h"
 
 namespace p2pdb::net {
 
-class ThreadRuntime : public Runtime {
+class ThreadRuntime : public MailboxRuntime {
  public:
-  struct Options {
-    /// Run() fails if quiescence is not reached within this bound.
-    std::chrono::milliseconds timeout{30'000};
-  };
+  using Options = MailboxRuntime::Options;
 
   ThreadRuntime() : ThreadRuntime(Options{}) {}
-  explicit ThreadRuntime(Options options);
-  ~ThreadRuntime() override;
+  explicit ThreadRuntime(Options options) : MailboxRuntime(options) {}
+  ~ThreadRuntime() override { Shutdown(); }
 
-  void RegisterPeer(NodeId id, PeerHandler* handler) override;
-  void Send(Message msg) override;
-  void ScheduleSend(uint64_t time_micros, Message msg) override;
-  Status Run() override;
-  uint64_t NowMicros() const override;
-
- private:
-  struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<Message> queue;
-    PeerHandler* handler = nullptr;
-  };
-
-  void PeerLoop(NodeId id, Mailbox* box);
-  void TimerLoop();
-  void StopThreads();
-
-  Options options_;
-  std::map<NodeId, std::unique_ptr<Mailbox>> mailboxes_;
-  std::vector<std::thread> threads_;
-  std::thread timer_thread_;
-
-  // Timer queue for ScheduleSend (delayed injections).
-  std::mutex timer_mutex_;
-  std::condition_variable timer_cv_;
-  std::vector<std::pair<uint64_t, Message>> timer_queue_;
-
-  std::atomic<uint64_t> in_flight_{0};  // queued + being processed + timed
-  std::atomic<uint64_t> next_seq_{0};
-  std::atomic<bool> stop_{false};
-  bool threads_started_ = false;
-  std::chrono::steady_clock::time_point start_time_;
+  void Send(Message msg) override {
+    msg.seq = NextSeq();
+    stats_.RecordSend(msg);
+    Deliver(std::move(msg));
+  }
 };
 
 }  // namespace p2pdb::net

@@ -8,26 +8,9 @@
 #include <cstring>
 
 #include "src/relational/snapshot.h"
+#include "src/storage/wal.h"
 
 namespace p2pdb::storage {
-
-namespace {
-
-Status FsyncDirectory(const std::string& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd < 0) {
-    return Status::Internal("cannot open directory " + dir + ": " +
-                            std::strerror(errno));
-  }
-  int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) {
-    return Status::Internal("fsync failed for directory " + dir);
-  }
-  return Status::OK();
-}
-
-}  // namespace
 
 std::string CheckpointPath(const std::string& dir) {
   return dir + "/checkpoint.p2db";

@@ -10,6 +10,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "src/relational/database.h"
 #include "src/relational/tuple.h"
@@ -28,6 +29,9 @@ struct RecoveryInfo {
   uint64_t wal_bytes_scanned = 0;
   bool wal_tail_truncated = false;
   uint64_t tuples_recovered = 0;
+  /// Rule-change records (see Storage::LogRuleChange), oldest first. Opaque
+  /// to the storage layer; core::wire::RuleChangeRecord decodes them.
+  std::vector<std::vector<uint8_t>> rule_changes;
 };
 
 class Storage {
@@ -36,6 +40,20 @@ class Storage {
 
   /// Durably records one applied update delta.
   virtual Status LogDelta(const DeltaMap& delta) = 0;
+
+  /// Durably records one dynamic rule change (addLink/deleteLink). The blob
+  /// is opaque here — the core layer encodes it — and, unlike deltas, it
+  /// survives checkpoint truncation: Recover() replays the full change list
+  /// so a restarted head re-learns mid-session rule changes without the
+  /// change driver re-delivering them.
+  virtual Status LogRuleChange(const std::vector<uint8_t>& record) = 0;
+
+  /// Replaces the retained rule-change history with `records` (persisted at
+  /// the next checkpoint truncation). The recovering peer calls this with
+  /// the compacted net diff so the history stays bounded by the rule count,
+  /// not the lifetime change count.
+  virtual Status ResetRuleChanges(
+      std::vector<std::vector<uint8_t>> records) = 0;
 
   /// Establishes the durable base state: checkpoints `db` iff no checkpoint
   /// exists yet. Called when storage is attached to a peer, so that WAL
@@ -58,6 +76,12 @@ class Storage {
 class NullStorage : public Storage {
  public:
   Status LogDelta(const DeltaMap&) override { return Status::OK(); }
+  Status LogRuleChange(const std::vector<uint8_t>&) override {
+    return Status::OK();
+  }
+  Status ResetRuleChanges(std::vector<std::vector<uint8_t>>) override {
+    return Status::OK();
+  }
   Status EnsureBase(const rel::Database&) override { return Status::OK(); }
   Status MaybeCheckpoint(const rel::Database&) override {
     return Status::OK();

@@ -1,6 +1,7 @@
 #include "src/storage/storage_manager.h"
 
 #include <filesystem>
+#include <optional>
 
 #include "src/relational/codec.h"
 #include "src/storage/checkpoint.h"
@@ -9,11 +10,28 @@
 namespace p2pdb::storage {
 
 namespace {
-/// Record kind tag, first byte of every WAL payload (room for future kinds,
-/// e.g. rule changes or compaction markers).
+/// Record kind tag, first byte of every WAL payload.
 constexpr uint8_t kDeltaRecord = 1;
+/// A dynamic rule change (addLink/deleteLink); the rest of the payload is the
+/// core layer's opaque encoding.
+constexpr uint8_t kRuleChangeRecord = 2;
 
 std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
+
+std::vector<uint8_t> EncodeRuleChange(const std::vector<uint8_t>& record) {
+  std::vector<uint8_t> payload;
+  payload.reserve(1 + record.size());
+  payload.push_back(kRuleChangeRecord);
+  payload.insert(payload.end(), record.begin(), record.end());
+  return payload;
+}
+
+/// A rule-change record's opaque body, or nullopt for any other kind.
+std::optional<std::vector<uint8_t>> RuleChangeBody(
+    const std::vector<uint8_t>& payload) {
+  if (payload.empty() || payload[0] != kRuleChangeRecord) return std::nullopt;
+  return std::vector<uint8_t>(payload.begin() + 1, payload.end());
+}
 }  // namespace
 
 std::vector<uint8_t> EncodeDelta(const DeltaMap& delta) {
@@ -57,15 +75,40 @@ Result<std::unique_ptr<StorageManager>> StorageManager::Open(
     return Status::Internal("cannot create storage directory " + options.dir +
                             ": " + ec.message());
   }
-  auto wal = WalWriter::Open(WalPath(options.dir), options.sync);
+  std::vector<std::vector<uint8_t>> existing;
+  auto wal = WalWriter::Open(WalPath(options.dir), options.sync,
+                             options.group_commit, &existing);
   if (!wal.ok()) return wal.status();
+  // Re-learn the retained rule changes from the records Open just scanned,
+  // so a fresh process keeps carrying them across checkpoints.
+  std::vector<std::vector<uint8_t>> rule_changes;
+  for (const std::vector<uint8_t>& payload : existing) {
+    if (auto body = RuleChangeBody(payload)) {
+      rule_changes.push_back(std::move(*body));
+    }
+  }
   return std::unique_ptr<StorageManager>(
-      new StorageManager(options, std::move(*wal)));
+      new StorageManager(options, std::move(*wal), std::move(rule_changes)));
 }
 
 Status StorageManager::LogDelta(const DeltaMap& delta) {
   if (delta.empty()) return Status::OK();
   return wal_->Append(EncodeDelta(delta));
+}
+
+Status StorageManager::LogRuleChange(const std::vector<uint8_t>& record) {
+  P2PDB_RETURN_IF_ERROR(wal_->Append(EncodeRuleChange(record)));
+  rule_changes_.push_back(record);
+  return Status::OK();
+}
+
+Status StorageManager::ResetRuleChanges(
+    std::vector<std::vector<uint8_t>> records) {
+  // Takes effect in the WAL at the next Checkpoint (which rewrites the
+  // retained history after truncation); until then the uncompacted records
+  // already on disk remain authoritative and replay to the same rule set.
+  rule_changes_ = std::move(records);
+  return Status::OK();
 }
 
 Status StorageManager::EnsureBase(const rel::Database& db) {
@@ -81,7 +124,15 @@ Status StorageManager::MaybeCheckpoint(const rel::Database& db) {
 Status StorageManager::Checkpoint(const rel::Database& db) {
   P2PDB_RETURN_IF_ERROR(SaveCheckpoint(db, options_.dir));
   ++checkpoints_taken_;
-  return wal_->Reset();
+  // The snapshot holds only the database; the rule-change history rides into
+  // the fresh log atomically with the truncation (Reset publishes by rename,
+  // so no crash window can lose the records).
+  std::vector<std::vector<uint8_t>> retained;
+  retained.reserve(rule_changes_.size());
+  for (const std::vector<uint8_t>& record : rule_changes_) {
+    retained.push_back(EncodeRuleChange(record));
+  }
+  return wal_->Reset(retained);
 }
 
 Result<rel::Database> StorageManager::Recover(RecoveryInfo* info) {
@@ -99,6 +150,11 @@ Result<rel::Database> StorageManager::Recover(RecoveryInfo* info) {
   out->wal_bytes_scanned = wal->valid_bytes;
   out->wal_tail_truncated = wal->tail_corrupt;
   for (const std::vector<uint8_t>& payload : wal->records) {
+    if (auto body = RuleChangeBody(payload)) {
+      out->rule_changes.push_back(std::move(*body));
+      ++out->wal_records_replayed;
+      continue;
+    }
     auto delta = DecodeDelta(payload);
     if (!delta.ok()) return delta.status();
     for (const auto& [relation, tuples] : *delta) {

@@ -2,7 +2,10 @@
 // holding one checkpoint plus a write-ahead log of the deltas applied since.
 //
 //   <dir>/checkpoint.p2db   last full snapshot (atomic rename publish)
-//   <dir>/wal.log           CRC-framed deltas applied after that snapshot
+//   <dir>/wal.log           CRC-framed records: deltas applied after that
+//                           snapshot, plus dynamic rule changes (which are
+//                           re-appended across truncations — the snapshot
+//                           format does not store rules)
 //
 // Appends go to the WAL; when the log outgrows `checkpoint_wal_bytes` the
 // manager snapshots the live database and truncates the log. A crash between
@@ -27,6 +30,9 @@ struct StorageOptions {
   /// kSync fsyncs every WAL append and is the durable default; kNoSync only
   /// flushes to the OS — benches use it so measurements are not fsync-bound.
   SyncMode sync = SyncMode::kSync;
+  /// Group commit for kSync (see GroupCommitOptions): a nonzero window
+  /// coalesces appends into one fsync per window/batch.
+  GroupCommitOptions group_commit;
   /// Checkpoint and truncate the WAL once it grows past this many bytes.
   uint64_t checkpoint_wal_bytes = 4u << 20;
 };
@@ -43,6 +49,8 @@ class StorageManager : public Storage {
       const StorageOptions& options);
 
   Status LogDelta(const DeltaMap& delta) override;
+  Status LogRuleChange(const std::vector<uint8_t>& record) override;
+  Status ResetRuleChanges(std::vector<std::vector<uint8_t>> records) override;
   Status EnsureBase(const rel::Database& db) override;
   Status MaybeCheckpoint(const rel::Database& db) override;
   Status Checkpoint(const rel::Database& db) override;
@@ -51,14 +59,21 @@ class StorageManager : public Storage {
   const StorageOptions& options() const { return options_; }
   uint64_t wal_bytes() const { return wal_->size_bytes(); }
   uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+  uint64_t wal_syncs() const { return wal_->syncs_performed(); }
 
  private:
-  StorageManager(StorageOptions options, std::unique_ptr<WalWriter> wal)
-      : options_(std::move(options)), wal_(std::move(wal)) {}
+  StorageManager(StorageOptions options, std::unique_ptr<WalWriter> wal,
+                 std::vector<std::vector<uint8_t>> rule_changes)
+      : options_(std::move(options)), wal_(std::move(wal)),
+        rule_changes_(std::move(rule_changes)) {}
 
   StorageOptions options_;
   std::unique_ptr<WalWriter> wal_;
   uint64_t checkpoints_taken_ = 0;
+  /// Every rule-change record in the WAL (seeded from disk at Open): the
+  /// checkpoint format stores only the database, so these are re-appended
+  /// after each WAL truncation to keep the change history durable.
+  std::vector<std::vector<uint8_t>> rule_changes_;
 };
 
 }  // namespace p2pdb::storage

@@ -1,8 +1,8 @@
 #include "src/storage/wal.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
-#include <array>
 #include <cerrno>
 #include <cstring>
 
@@ -16,21 +16,6 @@ constexpr uint32_t kWalMagic = 0x4c573250;  // "P2WL" little-endian.
 constexpr uint32_t kWalVersion = 1;
 constexpr size_t kHeaderBytes = 8;        // magic + version
 constexpr size_t kRecordHeaderBytes = 8;  // length + crc
-
-const std::array<uint32_t, 256>& CrcTable() {
-  static const std::array<uint32_t, 256> table = [] {
-    std::array<uint32_t, 256> t{};
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
 
 Status FsyncFile(std::FILE* f, const std::string& path) {
   if (std::fflush(f) != 0) {
@@ -52,13 +37,18 @@ std::vector<uint8_t> EncodeHeader() {
 
 }  // namespace
 
-uint32_t Crc32(const uint8_t* data, size_t size) {
-  const std::array<uint32_t, 256>& table = CrcTable();
-  uint32_t c = 0xffffffffu;
-  for (size_t i = 0; i < size; ++i) {
-    c = table[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+Status FsyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Internal("cannot open directory " + dir + ": " +
+                            std::strerror(errno));
   }
-  return c ^ 0xffffffffu;
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("fsync failed for directory " + dir);
+  }
+  return Status::OK();
 }
 
 Result<WalContents> ReadWalFile(const std::string& path) {
@@ -106,12 +96,17 @@ Result<WalContents> ReadWalFile(const std::string& path) {
   return out;
 }
 
-Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
-                                                   SyncMode sync) {
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const std::string& path, SyncMode sync, GroupCommitOptions group_commit,
+    std::vector<std::vector<uint8_t>>* existing_records) {
+  if (existing_records != nullptr) existing_records->clear();
   uint64_t valid_bytes = kHeaderBytes;
   auto existing = ReadWalFile(path);
   if (existing.ok() && existing->valid_bytes >= kHeaderBytes) {
     valid_bytes = existing->valid_bytes;
+    if (existing_records != nullptr) {
+      *existing_records = std::move(existing->records);
+    }
     if (existing->tail_corrupt &&
         ::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
       return Status::Internal("cannot truncate torn tail of " + path);
@@ -134,11 +129,16 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
   std::FILE* f = std::fopen(path.c_str(), "ab");
   if (f == nullptr) return Status::Internal("cannot open " + path);
   return std::unique_ptr<WalWriter>(
-      new WalWriter(path, sync, f, valid_bytes));
+      new WalWriter(path, sync, group_commit, f, valid_bytes));
 }
 
 WalWriter::~WalWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ != nullptr) {
+    // Best effort: close an open group-commit window so its records are not
+    // left OS-buffered only.
+    if (pending_appends_ > 0) (void)SyncNow();
+    std::fclose(file_);
+  }
 }
 
 Status WalWriter::Append(const std::vector<uint8_t>& payload) {
@@ -156,37 +156,84 @@ Status WalWriter::Append(const std::vector<uint8_t>& payload) {
     return Status::Internal("short write to " + path_);
   }
   // Flush to the OS always (the record survives a process crash); reach
-  // stable media only under kSync.
-  if (sync_ == SyncMode::kSync) {
-    P2PDB_RETURN_IF_ERROR(FsyncFile(file_, path_));
-  } else if (std::fflush(file_) != 0) {
+  // stable media per the sync mode and group-commit window.
+  if (std::fflush(file_) != 0) {
     return Status::Internal("fflush failed for " + path_);
   }
   size_bytes_ += header.size() + payload.size();
   ++appended_records_;
+  if (sync_ == SyncMode::kSync) {
+    if (group_commit_.window.count() == 0) {
+      return SyncNow();
+    }
+    if (pending_appends_ == 0) window_start_ = std::chrono::steady_clock::now();
+    ++pending_appends_;
+    if (pending_appends_ >= group_commit_.max_pending ||
+        std::chrono::steady_clock::now() - window_start_ >=
+            group_commit_.window) {
+      return SyncNow();
+    }
+  }
   return Status::OK();
 }
 
 Status WalWriter::Sync() {
   if (file_ == nullptr) return Status::Internal(path_ + " is not open");
+  return SyncNow();
+}
+
+Status WalWriter::SyncNow() {
+  pending_appends_ = 0;
+  ++syncs_performed_;
   return FsyncFile(file_, path_);
 }
 
-Status WalWriter::Reset() {
+Status WalWriter::Reset(const std::vector<std::vector<uint8_t>>& retained) {
+  // Build the fresh log beside the old one and rename it into place, like
+  // checkpoint publication: retained records are on disk before the old log
+  // (still holding them) can disappear.
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* fresh = std::fopen(tmp.c_str(), "wb");
+  if (fresh == nullptr) return Status::Internal("cannot open " + tmp);
+  std::vector<uint8_t> bytes = EncodeHeader();
+  for (const std::vector<uint8_t>& payload : retained) {
+    Writer record;
+    record.PutU32(static_cast<uint32_t>(payload.size()));
+    record.PutU32(Crc32(payload));
+    bytes.insert(bytes.end(), record.bytes().begin(), record.bytes().end());
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+  }
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), fresh);
+  bool flushed = std::fflush(fresh) == 0 && ::fsync(::fileno(fresh)) == 0;
+  int close_rc = std::fclose(fresh);
+  if (written != bytes.size() || !flushed || close_rc != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to " + tmp);
+  }
   std::fclose(file_);
   file_ = nullptr;
-  std::FILE* fresh = std::fopen(path_.c_str(), "wb");
-  if (fresh == nullptr) return Status::Internal("cannot reset " + path_);
-  std::vector<uint8_t> header = EncodeHeader();
-  size_t written = std::fwrite(header.data(), 1, header.size(), fresh);
-  Status st = sync_ == SyncMode::kSync ? FsyncFile(fresh, path_) : Status::OK();
-  if (written != header.size() || !st.ok()) {
-    std::fclose(fresh);
-    return Status::Internal("cannot rewrite WAL header in " + path_);
+  Status published = Status::OK();
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    published = Status::Internal("cannot publish fresh WAL at " + path_ +
+                                 ": " + std::strerror(errno));
+  } else {
+    size_bytes_ = bytes.size();
+    pending_appends_ = 0;  // The old file's open window died with it.
+    size_t slash = path_.find_last_of('/');
+    if (slash != std::string::npos) {
+      published = FsyncDirectory(path_.substr(0, slash));
+    }
   }
-  file_ = fresh;
-  size_bytes_ = kHeaderBytes;
-  return Status::OK();
+  // Reopen whichever log now lives at path_ — the old one when the rename
+  // failed, the fresh one otherwise — so a transient failure here does not
+  // permanently wedge the writer (appends would fail forever, silently
+  // un-logging every later delta).
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot reopen " + path_);
+  }
+  return published;
 }
 
 }  // namespace p2pdb::storage

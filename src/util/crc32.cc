@@ -1,0 +1,38 @@
+#include "src/util/crc32.h"
+
+#include <array>
+
+namespace p2pdb {
+
+namespace {
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t state, const uint8_t* data, size_t size) {
+  const std::array<uint32_t, 256>& table = CrcTable();
+  for (size_t i = 0; i < size; ++i) {
+    state = table[(state ^ data[i]) & 0xffu] ^ (state >> 8);
+  }
+  return state;
+}
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  return Crc32Finish(Crc32Update(kCrc32Init, data, size));
+}
+
+}  // namespace p2pdb

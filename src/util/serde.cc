@@ -31,6 +31,20 @@ void Writer::PutString(std::string_view s) {
   bytes_.insert(bytes_.end(), s.begin(), s.end());
 }
 
+void Writer::PutRaw(const uint8_t* data, size_t size) {
+  if (size == 0) return;  // data may be null for an empty buffer.
+  bytes_.insert(bytes_.end(), data, data + size);
+}
+
+size_t VarintLength(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 Result<uint8_t> Reader::GetU8() {
   if (pos_ + 1 > size_) return Status::OutOfRange("GetU8 past end");
   return data_[pos_++];

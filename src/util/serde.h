@@ -25,13 +25,20 @@ class Writer {
   void PutI64(int64_t v);
   /// Length-prefixed bytes.
   void PutString(std::string_view s);
+  /// Raw bytes, verbatim (pre-encoded sub-buffers, e.g. framed payloads).
+  void PutRaw(const uint8_t* data, size_t size);
 
   const std::vector<uint8_t>& bytes() const { return bytes_; }
   size_t size() const { return bytes_.size(); }
+  /// Moves the accumulated buffer out, leaving the Writer empty.
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
 
  private:
   std::vector<uint8_t> bytes_;
 };
+
+/// Encoded size of PutVarint(v), without writing anything.
+size_t VarintLength(uint64_t v);
 
 /// Reads values written by Writer, with bounds checking.
 class Reader {

@@ -9,6 +9,7 @@
 #include "src/lang/parser.h"
 #include "src/net/sim_runtime.h"
 #include "src/relational/null_iso.h"
+#include "src/util/log_capture.h"
 #include "src/workload/scenario.h"
 
 namespace p2pdb::core {
@@ -97,6 +98,35 @@ TEST(DynamicsTest, DeleteLinkKeepsDataAndCloses) {
   // Data already moved is never retracted (monotonicity).
   const rel::Relation* b = *session.peer(1).db().Get("b");
   EXPECT_LE(b->size(), 2u);
+}
+
+TEST(DynamicsTest, DeleteLinkResumesPausedTokenRing) {
+  // A and B form a non-trivial SCC; B additionally pulls from X, which is
+  // crashed, so B can never become externally ready and the ring leader
+  // pauses after repeated identical rounds (it would otherwise pass tokens
+  // forever). A mid-run deleteLink of the dead rule flips B to ready with no
+  // intra-SCC traffic the leader could observe — B's readiness poke must
+  // wake the paused ring, or the session never closes.
+  auto system = lang::ParseSystem(R"(
+node A { rel a(x); fact a("a1"); }
+node B { rel b(x); }
+node X { rel w(x); fact w("x1"); }
+rule ra: B.b(X) => A.a(X);
+rule rb: A.a(X) => B.b(X);
+rule rx: X.w(X) => B.b(X);
+)");
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+  net::SimRuntime rt;
+  Session session(*system, &rt);
+  ASSERT_TRUE(session.RunDiscovery().ok());
+  ScopedLogCapture quiet;  // Drops to the crashed peer are expected.
+  ASSERT_TRUE(session.CrashPeer(*system->NodeByName("X")).ok());
+  session.ScheduleChange(
+      AtomicChange::Delete(50'000, *system->NodeByName("B"), "rx"));
+  ASSERT_TRUE(session.RunUpdate().ok());
+  EXPECT_TRUE(session.AllClosed());
+  EXPECT_TRUE(
+      (*session.peer(1).db().Get("b"))->Contains(rel::Tuple({S("a1")})));
 }
 
 TEST(DynamicsTest, FinalStateWithinDefinition9Envelope) {

@@ -10,6 +10,7 @@
 
 #include "src/core/global_fixpoint.h"
 #include "src/core/session.h"
+#include "src/lang/parser.h"
 #include "src/net/sim_runtime.h"
 #include "src/relational/null_iso.h"
 #include "src/storage/storage_manager.h"
@@ -176,6 +177,125 @@ TEST(RecoveryTest, ChurnMatchesGlobalFixpointBaseline) {
                                            global->node_dbs[n]))
         << "node " << n;
   }
+}
+
+TEST(RecoveryTest, CrashAfterCompletionRejoinsWithoutRingLivelock) {
+  // A peer that crashes AFTER its session completed restarts idle; the
+  // rediscovery wave then restarts the SCC token ring against a member that
+  // is not ready and never will be within this session. Depending on the
+  // interleaving, the dead peer's lost counters leave the ring sums equal
+  // (seen on the TCP runtime, where this livelocked: millions of token
+  // passes) or unequal; both must pause and re-converge via the next
+  // session. This pins the scenario on the deterministic runtime; the TCP
+  // churn tests cover the concurrent interleavings.
+  auto system = workload::MakeRunningExample();
+  ASSERT_TRUE(system.ok());
+  std::vector<rel::Database> baseline = BaselineRun(*system);
+
+  std::string root = FreshRoot("post_completion");
+  Session::StorageProvider provider = DirProvider(root);
+  net::SimRuntime rt;
+  Session session(*system, &rt);
+  ASSERT_TRUE(session.RunDiscovery().ok());
+
+  auto victim = system->NodeByName("B");
+  ASSERT_TRUE(victim.ok());
+  ASSERT_TRUE(session.AttachStorage(*victim, provider(*victim)).ok());
+  ASSERT_TRUE(session.RunUpdate().ok());
+  ASSERT_TRUE(session.AllClosed());  // Crash only after full completion.
+
+  ScopedLogCapture quiet;
+  ASSERT_TRUE(session.CrashPeer(*victim).ok());
+  ASSERT_TRUE(session.RestartPeer(*victim, provider(*victim)).ok());
+  ASSERT_TRUE(session.Rediscover().ok());  // A ring livelock would hang here.
+  ASSERT_TRUE(session.RunUpdate().ok());
+  EXPECT_TRUE(session.AllClosed());
+  for (size_t n = 0; n < session.peer_count(); ++n) {
+    EXPECT_TRUE(rel::DatabasesIsomorphic(session.peer(n).db(), baseline[n]))
+        << "node " << n;
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(RecoveryTest, MidSessionRuleChangesReplayFromWal) {
+  // Durable rule state: addLink/deleteLink applied mid-session are logged to
+  // the head's WAL and replayed by Recover(), so a restarted head has the
+  // changed rule set without the change driver re-delivering notifications.
+  auto system = lang::ParseSystem(R"(
+node A { rel a(x); }
+node B { rel b(x); fact b("b1"); }
+node D { rel d(x); fact d("d1"); }
+rule r1: B.b(X) => A.a(X);
+)");
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+  NodeId head = *system->NodeByName("A");
+
+  std::string root = FreshRoot("rules");
+  Session::StorageProvider provider = DirProvider(root);
+  net::SimRuntime rt;
+  Session session(*system, &rt);
+  ASSERT_TRUE(session.RunDiscovery().ok());
+  ASSERT_TRUE(session.AttachStorage(head, provider(head)).ok());
+
+  // addLink r2 (A additionally pulls from D), then deleteLink r1, both
+  // arriving while the update session runs.
+  CoordinationRule r2;
+  r2.id = "r2";
+  r2.head_node = head;
+  rel::Atom head_atom;
+  head_atom.relation = "a";
+  head_atom.terms = {rel::Term::Var("X")};
+  r2.head_atoms = {head_atom};
+  CoordinationRule::BodyPart part;
+  part.node = *system->NodeByName("D");
+  rel::Atom body_atom;
+  body_atom.relation = "d";
+  body_atom.terms = {rel::Term::Var("X")};
+  part.atoms = {body_atom};
+  r2.body = {part};
+  // A churny history: r2 added, removed, re-added; r1 (initial) deleted.
+  session.ScheduleChange(AtomicChange::Add(1'500, r2));
+  session.ScheduleChange(AtomicChange::Delete(2'000, head, "r2"));
+  session.ScheduleChange(AtomicChange::Add(2'200, r2));
+  session.ScheduleChange(AtomicChange::Delete(2'500, head, "r1"));
+  ASSERT_TRUE(session.RunUpdate().ok());
+  ASSERT_EQ(session.peer(head).rules().size(), 1u);
+  ASSERT_EQ(session.peer(head).rules()[0].id, "r2");
+
+  ScopedLogCapture quiet;
+  ASSERT_TRUE(session.CrashPeer(head).ok());
+  ASSERT_TRUE(rt.Run().ok());
+  ASSERT_TRUE(session.RestartPeer(head, provider(head)).ok());
+
+  // The initial rule set would be {r1}; the WAL replay must re-apply the add
+  // of r2 and the delete of r1.
+  const std::vector<CoordinationRule>& rules = session.peer(head).rules();
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].id, "r2");
+
+  // Recovery compacts the four-record history to the net diff (add r2,
+  // delete r1), so the durable history is bounded by the rule count.
+  {
+    storage::StorageOptions probe;
+    probe.dir = root + "/peer" + std::to_string(head);
+    auto manager = storage::StorageManager::Open(probe);
+    ASSERT_TRUE(manager.ok());
+    storage::RecoveryInfo info;
+    ASSERT_TRUE((*manager)->Recover(&info).ok());
+    EXPECT_EQ(info.rule_changes.size(), 2u);
+  }
+
+  // A second crash/restart cycle replays the compacted history identically.
+  ASSERT_TRUE(session.CrashPeer(head).ok());
+  ASSERT_TRUE(session.RestartPeer(head, provider(head)).ok());
+  ASSERT_EQ(session.peer(head).rules().size(), 1u);
+  EXPECT_EQ(session.peer(head).rules()[0].id, "r2");
+
+  // And the rejoined network still converges with the changed topology.
+  ASSERT_TRUE(session.Rediscover().ok());
+  ASSERT_TRUE(session.RunUpdate().ok());
+  EXPECT_TRUE(session.AllClosed());
+  std::filesystem::remove_all(root);
 }
 
 TEST(RecoveryTest, RestartWithoutPriorCrashIsRejected) {

@@ -152,7 +152,11 @@ TEST(SimRuntimeTest, StatsRecordMessagesAndBytes) {
   rt.Send(Make(0, 1));
   ASSERT_TRUE(rt.Run().ok());
   EXPECT_EQ(rt.stats().total_messages(), 1u);
-  EXPECT_EQ(rt.stats().total_bytes(), 3u + 13u);
+  // Counted bytes are the exact frame encoding of the sent message (the
+  // runtime assigned it seq 0).
+  Message sent = Make(0, 1);
+  sent.seq = 0;
+  EXPECT_EQ(rt.stats().total_bytes(), sent.WireSize());
   EXPECT_EQ(rt.stats().MessagesOfType(MessageType::kUpdateStart), 1u);
   auto pipes = rt.stats().PerPipe();
   std::pair<NodeId, NodeId> link{0, 1};
@@ -186,6 +190,41 @@ TEST(ThreadRuntimeTest, StarFanOutAndReplies) {
   ASSERT_TRUE(rt.Run().ok());
   EXPECT_EQ(peers[0]->received(), 7);  // One reply per spoke.
   for (NodeId i = 1; i < 8; ++i) EXPECT_EQ(peers[i]->received(), 1);
+}
+
+TEST(ThreadRuntimeTest, UnregisterDropsAndRebindDelivers) {
+  ThreadRuntime rt;
+  EchoPeer a(0, &rt, 0), b(1, &rt, 0);
+  rt.RegisterPeer(0, &a);
+  rt.RegisterPeer(1, &b);
+  rt.Send(Make(0, 1));
+  ASSERT_TRUE(rt.Run().ok());
+  EXPECT_EQ(b.received(), 1);
+
+  rt.UnregisterPeer(1);  // Crash: sends to 1 are now dropped, and counted.
+  rt.Send(Make(0, 1));
+  ASSERT_TRUE(rt.Run().ok());
+  EXPECT_EQ(b.received(), 1);
+  EXPECT_EQ(rt.dropped_count(), 1u);
+
+  EchoPeer b2(1, &rt, 0);  // Restart: a fresh handler takes over the id.
+  rt.RegisterPeer(1, &b2);
+  rt.Send(Make(0, 1));
+  ASSERT_TRUE(rt.Run().ok());
+  EXPECT_EQ(b2.received(), 1);
+  EXPECT_EQ(rt.dropped_count(), 1u);
+}
+
+TEST(ThreadRuntimeTest, RegisterWhileRunningSpawnsWorker) {
+  ThreadRuntime rt;
+  EchoPeer a(0, &rt, 0);
+  rt.RegisterPeer(0, &a);
+  ASSERT_TRUE(rt.Run().ok());  // Threads are up.
+  EchoPeer late(7, &rt, 0);
+  rt.RegisterPeer(7, &late);
+  rt.Send(Make(0, 7));
+  ASSERT_TRUE(rt.Run().ok());
+  EXPECT_EQ(late.received(), 1);
 }
 
 TEST(PipeTableTest, RefCountingLifecycle) {

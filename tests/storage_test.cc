@@ -51,6 +51,62 @@ TEST(StorageManagerTest, DeltaCodecRoundTrip) {
   EXPECT_FALSE(DecodeDelta({99}).ok());  // Unknown record kind.
 }
 
+TEST(StorageManagerTest, RuleChangeRecordsSurviveCheckpointTruncation) {
+  StorageOptions options;
+  options.dir = FreshDir("rule_records");
+  options.sync = SyncMode::kNoSync;
+  auto manager = StorageManager::Open(options);
+  ASSERT_TRUE(manager.ok());
+  rel::Database db = BaseDb();
+  ASSERT_TRUE((*manager)->EnsureBase(db).ok());
+
+  std::vector<uint8_t> change_a = {0xaa, 1, 2, 3};
+  std::vector<uint8_t> change_b = {0xbb};
+  ASSERT_TRUE((*manager)->LogRuleChange(change_a).ok());
+  ASSERT_TRUE((*manager)->LogDelta(OneDelta(2, "mid")).ok());
+  ASSERT_TRUE((*manager)->LogRuleChange(change_b).ok());
+
+  // Checkpointing folds deltas into the snapshot and truncates the WAL, but
+  // must not lose the rule-change history (the snapshot stores no rules).
+  ASSERT_TRUE((*manager)->Checkpoint(db).ok());
+
+  RecoveryInfo info;
+  auto recovered = (*manager)->Recover(&info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_EQ(info.rule_changes.size(), 2u);
+  EXPECT_EQ(info.rule_changes[0], change_a);
+  EXPECT_EQ(info.rule_changes[1], change_b);
+
+  // A reopened manager (fresh process) re-learns the retained records from
+  // disk, so its next checkpoint keeps carrying them.
+  manager->reset();
+  auto reopened = StorageManager::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_TRUE((*reopened)->Checkpoint(db).ok());
+  RecoveryInfo info2;
+  ASSERT_TRUE((*reopened)->Recover(&info2).ok());
+  ASSERT_EQ(info2.rule_changes.size(), 2u);
+  EXPECT_EQ(info2.rule_changes[0], change_a);
+
+  std::filesystem::remove_all(options.dir);
+}
+
+TEST(StorageManagerTest, GroupCommitOptionsReachTheWal) {
+  StorageOptions options;
+  options.dir = FreshDir("group_commit");
+  options.sync = SyncMode::kSync;
+  options.group_commit.window = std::chrono::seconds(60);
+  options.group_commit.max_pending = 4;
+  auto manager = StorageManager::Open(options);
+  ASSERT_TRUE(manager.ok());
+  ASSERT_TRUE((*manager)->EnsureBase(BaseDb()).ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE((*manager)->LogDelta(OneDelta(10 + i, "d")).ok());
+  }
+  EXPECT_EQ((*manager)->wal_syncs(), 2u);  // Two batches of four.
+  std::filesystem::remove_all(options.dir);
+}
+
 TEST(StorageManagerTest, EnsureBaseCheckpointsOnlyOnce) {
   StorageOptions options;
   options.dir = FreshDir("ensure_base");

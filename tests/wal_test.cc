@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 namespace p2pdb::storage {
 namespace {
@@ -247,6 +249,71 @@ TEST(WalTest, TornHeaderStartsFresh) {
   ASSERT_EQ(contents->records.size(), 1u);
   EXPECT_EQ(contents->records[0], Payload({5}));
   EXPECT_FALSE(contents->tail_corrupt);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, SyncModeFsyncsEveryAppend) {
+  std::string path = TestPath("sync_each");
+  std::remove(path.c_str());
+  auto writer = WalWriter::Open(path, SyncMode::kSync);
+  ASSERT_TRUE(writer.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*writer)->Append(Payload({i})).ok());
+  }
+  EXPECT_EQ((*writer)->syncs_performed(), 5u);
+  EXPECT_EQ((*writer)->pending_appends(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, GroupCommitCoalescesFsyncs) {
+  std::string path = TestPath("group");
+  std::remove(path.c_str());
+  GroupCommitOptions group;
+  group.window = std::chrono::seconds(60);  // Count-triggered only.
+  group.max_pending = 10;
+  auto writer = WalWriter::Open(path, SyncMode::kSync, group);
+  ASSERT_TRUE(writer.ok());
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE((*writer)->Append(Payload({i})).ok());
+  }
+  // 25 appends = two full batches of 10 plus 5 pending.
+  EXPECT_EQ((*writer)->syncs_performed(), 2u);
+  EXPECT_EQ((*writer)->pending_appends(), 5u);
+  ASSERT_TRUE((*writer)->Sync().ok());  // Closes the open window.
+  EXPECT_EQ((*writer)->syncs_performed(), 3u);
+  EXPECT_EQ((*writer)->pending_appends(), 0u);
+
+  // Every record is readable regardless of which batch carried it.
+  auto contents = ReadWalFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->records.size(), 25u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, GroupCommitWindowExpiryTriggersSync) {
+  std::string path = TestPath("group_window");
+  std::remove(path.c_str());
+  GroupCommitOptions group;
+  group.window = std::chrono::microseconds(1);  // Expires between appends.
+  group.max_pending = 1'000'000;
+  auto writer = WalWriter::Open(path, SyncMode::kSync, group);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(Payload({1})).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_TRUE((*writer)->Append(Payload({2})).ok());
+  EXPECT_GE((*writer)->syncs_performed(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, NoSyncModeNeverFsyncs) {
+  std::string path = TestPath("nosync");
+  std::remove(path.c_str());
+  auto writer = WalWriter::Open(path, SyncMode::kNoSync);
+  ASSERT_TRUE(writer.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*writer)->Append(Payload({i})).ok());
+  }
+  EXPECT_EQ((*writer)->syncs_performed(), 0u);
   std::remove(path.c_str());
 }
 
