@@ -11,6 +11,7 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -148,6 +149,81 @@ BenchResult TcpPingPongBench(const std::string& name, size_t round_trips,
   return result;
 }
 
+/// Counts deliveries into a shared counter; the scaling bench only cares
+/// about aggregate arrival, not per-peer behaviour.
+class CountingPeer : public net::PeerHandler {
+ public:
+  explicit CountingPeer(std::atomic<uint64_t>* received)
+      : received_(received) {}
+  void OnMessage(const net::Message& msg) override {
+    (void)msg;
+    received_->fetch_add(1);
+  }
+
+ private:
+  std::atomic<uint64_t>* received_;
+};
+
+/// Peer-count scaling: N registered peers (N listeners and N-1 live
+/// connections on one reactor pool), 64B frames delivered at a constant
+/// per-connection rate. A warm-up frame per destination establishes every
+/// connection before the clock starts, so the timed region is steady-state
+/// throughput; the number that matters is frames_per_sec staying flat as
+/// peers grow — the reactor multiplexes connections onto a fixed worker
+/// pool, so per-frame cost should not scale with peer count.
+BenchResult PeerScalingBench(const std::string& name, size_t peers,
+                             size_t frames_per_peer) {
+  BenchResult result;
+  result.name = name;
+  net::TcpRuntime::Options options;
+  options.timeout = std::chrono::seconds(120);
+  net::TcpRuntime rt(options);
+  std::atomic<uint64_t> received{0};
+  std::vector<std::unique_ptr<CountingPeer>> handlers;
+  handlers.reserve(peers);
+  for (size_t i = 0; i < peers; ++i) {
+    handlers.push_back(std::make_unique<CountingPeer>(&received));
+    rt.RegisterPeer(static_cast<NodeId>(i), handlers.back().get());
+  }
+  if (!rt.Run().ok()) return result;  // Starts worker threads; network idle.
+
+  net::Message msg = MakeMessage(64);
+  msg.from = 0;
+  auto deadline = Clock::now() + std::chrono::seconds(120);
+  for (size_t dest = 1; dest < peers; ++dest) {  // Connect warm-up.
+    msg.to = static_cast<NodeId>(dest);
+    rt.Send(msg);
+  }
+  while (received.load() < peers - 1) {
+    if (Clock::now() > deadline) return result;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  const size_t frames = frames_per_peer * (peers - 1);
+  const uint64_t target = received.load() + frames;
+  auto start = Clock::now();
+  for (size_t dest = 1; dest < peers; ++dest) {
+    msg.to = static_cast<NodeId>(dest);
+    for (size_t k = 0; k < frames_per_peer; ++k) rt.Send(msg);
+  }
+  while (received.load() < target) {
+    if (Clock::now() > deadline) return result;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  double wall_ms = MsSince(start);
+  double wall_s = wall_ms / 1000.0;
+  result.metrics = {
+      {"wall_ms", wall_ms},
+      {"peers", static_cast<double>(peers)},
+      {"frames", static_cast<double>(frames)},
+      {"payload_bytes", 64},
+      {"frames_per_sec", wall_s > 0 ? frames / wall_s : 0},
+      {"frames_per_writev", rt.stats().io().FramesPerWritev()},
+      {"dropped", static_cast<double>(rt.dropped_count())},
+  };
+  return result;
+}
+
 /// End-to-end discovery + global update through a Session on one runtime.
 BenchResult SessionUpdateBench(const std::string& name, net::Runtime* rt,
                                size_t nodes, size_t records) {
@@ -234,6 +310,7 @@ int Main(int argc, char** argv) {
   const size_t pings = FullScale() ? 20'000 : 2'000;
   const size_t nodes = 8;
   const size_t records = FullScale() ? 100 : 25;
+  const size_t frames_per_peer = FullScale() ? 300 : 100;
   using Maker = std::function<BenchResult()>;
   std::vector<std::pair<std::string, Maker>> cases = {
       {"frame_codec_64b",
@@ -247,6 +324,19 @@ int Main(int argc, char** argv) {
       {"tcp_pingpong_4kb",
        [&] {
          return TcpPingPongBench("tcp_pingpong_4kb", pings / 4, 4096);
+       }},
+      {"tcp_scaling_64peers",
+       [&] {
+         return PeerScalingBench("tcp_scaling_64peers", 64, frames_per_peer);
+       }},
+      {"tcp_scaling_256peers",
+       [&] {
+         return PeerScalingBench("tcp_scaling_256peers", 256, frames_per_peer);
+       }},
+      {"tcp_scaling_1000peers",
+       [&] {
+         return PeerScalingBench("tcp_scaling_1000peers", 1000,
+                                 frames_per_peer);
        }},
       {"update_thread_tree8",
        [&] {

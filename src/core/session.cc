@@ -25,11 +25,18 @@ Session::Session(const P2PSystem& system, net::Runtime* runtime,
 }
 
 Status Session::RunDiscovery() {
+  // Earlier peers' discovery waves reach later peers while this loop is
+  // still running, so every control-plane Start goes through the runtime's
+  // per-peer exclusion instead of racing the handler upcalls.
   if (options_.discovery == Options::DiscoveryMode::kSuperPeer) {
-    peers_[options_.super_peer]->StartDiscovery();
+    runtime_->RunExclusive(options_.super_peer, [&] {
+      peers_[options_.super_peer]->StartDiscovery();
+    });
   } else {
     for (auto& peer : peers_) {
-      if (peer != nullptr) peer->StartDiscovery();
+      if (peer != nullptr) {
+        runtime_->RunExclusive(peer->id(), [&] { peer->StartDiscovery(); });
+      }
     }
   }
   return runtime_->Run();
@@ -46,7 +53,7 @@ Status Session::RunUpdateFrom(const std::vector<NodeId>& initiators) {
       return Status::InvalidArgument("update initiator " + std::to_string(n) +
                                      " is not alive");
     }
-    peers_[n]->StartUpdate(session);
+    runtime_->RunExclusive(n, [&] { peers_[n]->StartUpdate(session); });
   }
   return runtime_->Run();
 }
@@ -54,7 +61,8 @@ Status Session::RunUpdateFrom(const std::vector<NodeId>& initiators) {
 Status Session::RunPartialUpdate(NodeId at,
                                  const std::set<std::string>& relations) {
   uint64_t session = next_session_++;
-  peers_[at]->StartPartialUpdate(session, relations);
+  runtime_->RunExclusive(
+      at, [&] { peers_[at]->StartPartialUpdate(session, relations); });
   return runtime_->Run();
 }
 
@@ -81,11 +89,15 @@ void Session::ScheduleChange(const AtomicChange& change) {
 
 Status Session::Rediscover() {
   for (auto& peer : peers_) {
-    if (peer != nullptr) peer->StartDiscovery();
+    if (peer != nullptr) {
+      runtime_->RunExclusive(peer->id(), [&] { peer->StartDiscovery(); });
+    }
   }
   P2PDB_RETURN_IF_ERROR(runtime_->Run());
   for (auto& peer : peers_) {
-    if (peer != nullptr) peer->update().RefreshScc();
+    if (peer != nullptr) {
+      runtime_->RunExclusive(peer->id(), [&] { peer->update().RefreshScc(); });
+    }
   }
   return runtime_->Run();
 }
@@ -165,7 +177,9 @@ Status Session::RunUpdateWithChurn(const ChurnScript& churn,
                                    " is not alive");
   }
   uint64_t session = next_session_++;
-  peers_[options_.super_peer]->StartUpdate(session);
+  runtime_->RunExclusive(options_.super_peer, [&] {
+    peers_[options_.super_peer]->StartUpdate(session);
+  });
   bool restarted = false;
   for (const ChurnEvent& e : churn) {
     P2PDB_RETURN_IF_ERROR(runtime_->RunUntil(e.at_micros));

@@ -187,8 +187,7 @@ std::vector<uint8_t> DiscoverRequest::Encode() const {
   return Finish(w);
 }
 
-Result<DiscoverRequest> DiscoverRequest::Decode(
-    const std::vector<uint8_t>& bytes) {
+Result<DiscoverRequest> DiscoverRequest::Decode(ByteView bytes) {
   Reader r(bytes);
   DiscoverRequest out;
   WIRE_TRY(origin, r.GetU32());
@@ -204,8 +203,7 @@ std::vector<uint8_t> DiscoverAnswer::Encode() const {
   return Finish(w);
 }
 
-Result<DiscoverAnswer> DiscoverAnswer::Decode(
-    const std::vector<uint8_t>& bytes) {
+Result<DiscoverAnswer> DiscoverAnswer::Decode(ByteView bytes) {
   Reader r(bytes);
   DiscoverAnswer out;
   WIRE_TRY(origin, r.GetU32());
@@ -224,8 +222,7 @@ std::vector<uint8_t> DiscoverClosure::Encode() const {
   return Finish(w);
 }
 
-Result<DiscoverClosure> DiscoverClosure::Decode(
-    const std::vector<uint8_t>& bytes) {
+Result<DiscoverClosure> DiscoverClosure::Decode(ByteView bytes) {
   Reader r(bytes);
   DiscoverClosure out;
   WIRE_TRY(origin, r.GetU32());
@@ -241,7 +238,7 @@ std::vector<uint8_t> UpdateStart::Encode() const {
   return Finish(w);
 }
 
-Result<UpdateStart> UpdateStart::Decode(const std::vector<uint8_t>& bytes) {
+Result<UpdateStart> UpdateStart::Decode(ByteView bytes) {
   Reader r(bytes);
   UpdateStart out;
   WIRE_TRY(session, r.GetU64());
@@ -258,7 +255,7 @@ std::vector<uint8_t> QueryRequest::Encode() const {
   return Finish(w);
 }
 
-Result<QueryRequest> QueryRequest::Decode(const std::vector<uint8_t>& bytes) {
+Result<QueryRequest> QueryRequest::Decode(ByteView bytes) {
   Reader r(bytes);
   QueryRequest out;
   WIRE_TRY(session, r.GetU64());
@@ -283,7 +280,7 @@ std::vector<uint8_t> QueryAnswer::Encode() const {
   return Finish(w);
 }
 
-Result<QueryAnswer> QueryAnswer::Decode(const std::vector<uint8_t>& bytes) {
+Result<QueryAnswer> QueryAnswer::Decode(ByteView bytes) {
   Reader r(bytes);
   QueryAnswer out;
   WIRE_TRY(session, r.GetU64());
@@ -309,7 +306,7 @@ std::vector<uint8_t> Unsubscribe::Encode() const {
   return Finish(w);
 }
 
-Result<Unsubscribe> Unsubscribe::Decode(const std::vector<uint8_t>& bytes) {
+Result<Unsubscribe> Unsubscribe::Decode(ByteView bytes) {
   Reader r(bytes);
   Unsubscribe out;
   WIRE_TRY(session, r.GetU64());
@@ -331,7 +328,7 @@ std::vector<uint8_t> PartialUpdate::Encode() const {
   return Finish(w);
 }
 
-Result<PartialUpdate> PartialUpdate::Decode(const std::vector<uint8_t>& bytes) {
+Result<PartialUpdate> PartialUpdate::Decode(ByteView bytes) {
   Reader r(bytes);
   PartialUpdate out;
   WIRE_TRY(session, r.GetU64());
@@ -360,7 +357,7 @@ std::vector<uint8_t> Token::Encode() const {
   return Finish(w);
 }
 
-Result<Token> Token::Decode(const std::vector<uint8_t>& bytes) {
+Result<Token> Token::Decode(ByteView bytes) {
   Reader r(bytes);
   Token out;
   WIRE_TRY(session, r.GetU64());
@@ -384,7 +381,7 @@ std::vector<uint8_t> SccClosed::Encode() const {
   return Finish(w);
 }
 
-Result<SccClosed> SccClosed::Decode(const std::vector<uint8_t>& bytes) {
+Result<SccClosed> SccClosed::Decode(ByteView bytes) {
   Reader r(bytes);
   SccClosed out;
   WIRE_TRY(session, r.GetU64());
@@ -398,7 +395,7 @@ std::vector<uint8_t> Reopen::Encode() const {
   return Finish(w);
 }
 
-Result<Reopen> Reopen::Decode(const std::vector<uint8_t>& bytes) {
+Result<Reopen> Reopen::Decode(ByteView bytes) {
   Reader r(bytes);
   Reopen out;
   WIRE_TRY(session, r.GetU64());
@@ -412,8 +409,7 @@ std::vector<uint8_t> AddRuleChange::Encode() const {
   return Finish(w);
 }
 
-Result<AddRuleChange> AddRuleChange::Decode(
-    const std::vector<uint8_t>& bytes) {
+Result<AddRuleChange> AddRuleChange::Decode(ByteView bytes) {
   Reader r(bytes);
   AddRuleChange out;
   WIRE_TRY(rule, DecodeRule(&r));
@@ -427,8 +423,7 @@ std::vector<uint8_t> DeleteRuleChange::Encode() const {
   return Finish(w);
 }
 
-Result<DeleteRuleChange> DeleteRuleChange::Decode(
-    const std::vector<uint8_t>& bytes) {
+Result<DeleteRuleChange> DeleteRuleChange::Decode(ByteView bytes) {
   Reader r(bytes);
   DeleteRuleChange out;
   WIRE_TRY(rule_id, r.GetString());
@@ -461,8 +456,7 @@ std::vector<uint8_t> RuleChangeRecord::Encode() const {
   return Finish(w);
 }
 
-Result<RuleChangeRecord> RuleChangeRecord::Decode(
-    const std::vector<uint8_t>& bytes) {
+Result<RuleChangeRecord> RuleChangeRecord::Decode(ByteView bytes) {
   Reader r(bytes);
   RuleChangeRecord out;
   WIRE_TRY(kind, r.GetU8());

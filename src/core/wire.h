@@ -56,7 +56,7 @@ struct DiscoverRequest {
   NodeId origin = kNoNode;
 
   std::vector<uint8_t> Encode() const;
-  static Result<DiscoverRequest> Decode(const std::vector<uint8_t>& bytes);
+  static Result<DiscoverRequest> Decode(ByteView bytes);
 };
 
 /// A3 processAnswer: edges aggregated below the sender. `visited` marks the
@@ -67,7 +67,7 @@ struct DiscoverAnswer {
   std::set<Edge> edges;
 
   std::vector<uint8_t> Encode() const;
-  static Result<DiscoverAnswer> Decode(const std::vector<uint8_t>& bytes);
+  static Result<DiscoverAnswer> Decode(ByteView bytes);
 };
 
 /// Closure broadcast: the origin's complete reachable edge set, pushed down
@@ -78,7 +78,7 @@ struct DiscoverClosure {
   std::set<Edge> edges;
 
   std::vector<uint8_t> Encode() const;
-  static Result<DiscoverClosure> Decode(const std::vector<uint8_t>& bytes);
+  static Result<DiscoverClosure> Decode(ByteView bytes);
 };
 
 /// Global update request flooded from the super-peer.
@@ -86,7 +86,7 @@ struct UpdateStart {
   uint64_t session = 0;
 
   std::vector<uint8_t> Encode() const;
-  static Result<UpdateStart> Decode(const std::vector<uint8_t>& bytes);
+  static Result<UpdateStart> Decode(ByteView bytes);
 };
 
 /// A4 Query: the head node subscribes to one body part of one of its rules;
@@ -98,7 +98,7 @@ struct QueryRequest {
   rel::ConjunctiveQuery query;
 
   std::vector<uint8_t> Encode() const;
-  static Result<QueryRequest> Decode(const std::vector<uint8_t>& bytes);
+  static Result<QueryRequest> Decode(ByteView bytes);
 };
 
 /// A5 Answer: tuples for one subscription. With the delta optimization only
@@ -113,7 +113,7 @@ struct QueryAnswer {
   std::set<rel::Tuple> tuples;
 
   std::vector<uint8_t> Encode() const;
-  static Result<QueryAnswer> Decode(const std::vector<uint8_t>& bytes);
+  static Result<QueryAnswer> Decode(ByteView bytes);
 };
 
 /// Cancels one subscription (deleteLink handling, Section 4).
@@ -123,7 +123,7 @@ struct Unsubscribe {
   uint32_t part = 0;
 
   std::vector<uint8_t> Encode() const;
-  static Result<Unsubscribe> Decode(const std::vector<uint8_t>& bytes);
+  static Result<Unsubscribe> Decode(ByteView bytes);
 };
 
 /// Query-dependent update: pulls only relations needed by a local query,
@@ -134,7 +134,7 @@ struct PartialUpdate {
   std::vector<NodeId> sn_path;
 
   std::vector<uint8_t> Encode() const;
-  static Result<PartialUpdate> Decode(const std::vector<uint8_t>& bytes);
+  static Result<PartialUpdate> Decode(ByteView bytes);
 };
 
 /// Termination-detection token circulating a strongly connected component
@@ -148,7 +148,7 @@ struct Token {
   bool all_ready = true;
 
   std::vector<uint8_t> Encode() const;
-  static Result<Token> Decode(const std::vector<uint8_t>& bytes);
+  static Result<Token> Decode(ByteView bytes);
 };
 
 /// Leader's closure broadcast to its SCC.
@@ -156,7 +156,7 @@ struct SccClosed {
   uint64_t session = 0;
 
   std::vector<uint8_t> Encode() const;
-  static Result<SccClosed> Decode(const std::vector<uint8_t>& bytes);
+  static Result<SccClosed> Decode(ByteView bytes);
 };
 
 /// A member that re-opened (dynamics) asks the leader to resume the token.
@@ -164,7 +164,7 @@ struct Reopen {
   uint64_t session = 0;
 
   std::vector<uint8_t> Encode() const;
-  static Result<Reopen> Decode(const std::vector<uint8_t>& bytes);
+  static Result<Reopen> Decode(ByteView bytes);
 };
 
 /// addLink notification (Definition 8): delivered to the head node.
@@ -172,7 +172,7 @@ struct AddRuleChange {
   CoordinationRule rule;
 
   std::vector<uint8_t> Encode() const;
-  static Result<AddRuleChange> Decode(const std::vector<uint8_t>& bytes);
+  static Result<AddRuleChange> Decode(ByteView bytes);
 };
 
 /// deleteLink notification: delivered to the head node.
@@ -180,7 +180,7 @@ struct DeleteRuleChange {
   std::string rule_id;
 
   std::vector<uint8_t> Encode() const;
-  static Result<DeleteRuleChange> Decode(const std::vector<uint8_t>& bytes);
+  static Result<DeleteRuleChange> Decode(ByteView bytes);
 };
 
 /// Durable form of one applied dynamic rule change — what a head peer writes
@@ -197,7 +197,7 @@ struct RuleChangeRecord {
   static RuleChangeRecord Delete(std::string rule_id);
 
   std::vector<uint8_t> Encode() const;
-  static Result<RuleChangeRecord> Decode(const std::vector<uint8_t>& bytes);
+  static Result<RuleChangeRecord> Decode(ByteView bytes);
 };
 
 }  // namespace p2pdb::core::wire

@@ -1,5 +1,7 @@
 #include "src/net/frame.h"
 
+#include <algorithm>
+
 #include "src/util/crc32.h"
 #include "src/util/serde.h"
 
@@ -10,9 +12,18 @@ namespace {
 constexpr size_t kLengthBytes = 4;
 constexpr size_t kCrcBytes = 4;
 
+uint32_t ReadLengthField(const uint8_t* data) {
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(data[i]) << (8 * i);
+  }
+  return length;
+}
+
 /// Decodes the bytes after the length field (crc + header + payload), whose
-/// extent `size` the caller has already established from that field.
-Result<Message> DecodeFrameBody(const uint8_t* data, size_t size) {
+/// extent `size` the caller has already established from that field. The
+/// returned view's payload aliases `data`.
+Result<FrameView> DecodeFrameBody(const uint8_t* data, size_t size) {
   Reader r(data, size);
   auto crc = r.GetU32();
   if (!crc.ok()) return Status::ParseError("frame shorter than its CRC");
@@ -32,13 +43,14 @@ Result<Message> DecodeFrameBody(const uint8_t* data, size_t size) {
   if (*from > kNoNode || *to > kNoNode) {
     return Status::ParseError("frame node id out of range");
   }
-  Message msg;
-  msg.type = static_cast<MessageType>(*type);
-  msg.from = static_cast<NodeId>(*from);
-  msg.to = static_cast<NodeId>(*to);
-  msg.seq = *seq;
-  msg.payload.assign(data + (size - r.remaining()), data + size);
-  return msg;
+  FrameView view;
+  view.type = static_cast<MessageType>(*type);
+  view.from = static_cast<NodeId>(*from);
+  view.to = static_cast<NodeId>(*to);
+  view.seq = *seq;
+  view.payload = data + (size - r.remaining());
+  view.payload_size = r.remaining();
+  return view;
 }
 
 }  // namespace
@@ -46,6 +58,22 @@ Result<Message> DecodeFrameBody(const uint8_t* data, size_t size) {
 size_t Message::WireSize() const {
   return kLengthBytes + kCrcBytes + 1 /* type */ + VarintLength(from) +
          VarintLength(to) + VarintLength(seq) + payload.size();
+}
+
+Message FrameView::ToMessage() const {
+  Message msg = BorrowMessage();
+  msg.payload.EnsureOwned();
+  return msg;
+}
+
+Message FrameView::BorrowMessage() const {
+  Message msg;
+  msg.type = type;
+  msg.from = from;
+  msg.to = to;
+  msg.seq = seq;
+  msg.payload = Payload::Borrow(payload, payload_size);
+  return msg;
 }
 
 std::vector<uint8_t> EncodeFrame(const Message& msg) {
@@ -80,30 +108,59 @@ Result<Message> DecodeFrame(const std::vector<uint8_t>& bytes) {
   if (r.remaining() > *length) {
     return Status::ParseError("trailing bytes after frame");
   }
-  return DecodeFrameBody(bytes.data() + kLengthBytes, *length);
+  auto view = DecodeFrameBody(bytes.data() + kLengthBytes, *length);
+  if (!view.ok()) return view.status();
+  return view->ToMessage();
 }
 
-Status FrameAssembler::Feed(const uint8_t* data, size_t size,
-                            std::vector<Message>* out) {
-  buffer_.insert(buffer_.end(), data, data + size);
+Status FrameAssembler::FeedViews(const uint8_t* data, size_t size,
+                                 const FrameSink& sink) {
   size_t pos = 0;
-  while (buffer_.size() - pos >= kLengthBytes) {
-    uint32_t length = 0;
-    for (int i = 0; i < 4; ++i) {
-      length |= static_cast<uint32_t>(buffer_[pos + i]) << (8 * i);
+  // Finish the partial frame carried over from earlier reads, if any. The
+  // carried prefix grows until the whole frame is present, then decodes in
+  // place (the view aliases buffer_, stable until the clear after the sink).
+  if (!buffer_.empty()) {
+    while (buffer_.size() < kLengthBytes && pos < size) {
+      buffer_.push_back(data[pos++]);
     }
+    if (buffer_.size() < kLengthBytes) return Status::OK();
+    uint32_t length = ReadLengthField(buffer_.data());
     if (length > kMaxFrameBytes) {
       return Status::ParseError("frame length " + std::to_string(length) +
                                 " exceeds limit; stream desynchronized");
     }
-    if (buffer_.size() - pos - kLengthBytes < length) break;  // Partial frame.
-    auto msg = DecodeFrameBody(buffer_.data() + pos + kLengthBytes, length);
-    if (!msg.ok()) return msg.status();
-    out->push_back(msg.MoveValue());
+    size_t total = kLengthBytes + length;
+    size_t take = std::min(total - buffer_.size(), size - pos);
+    buffer_.insert(buffer_.end(), data + pos, data + pos + take);
+    pos += take;
+    if (buffer_.size() < total) return Status::OK();
+    auto view = DecodeFrameBody(buffer_.data() + kLengthBytes, length);
+    if (!view.ok()) return view.status();
+    sink(*view);
+    buffer_.clear();
+  }
+  // Zero-copy scan: complete frames decode straight out of `data`.
+  while (size - pos >= kLengthBytes) {
+    uint32_t length = ReadLengthField(data + pos);
+    if (length > kMaxFrameBytes) {
+      return Status::ParseError("frame length " + std::to_string(length) +
+                                " exceeds limit; stream desynchronized");
+    }
+    if (size - pos - kLengthBytes < length) break;  // Partial frame.
+    auto view = DecodeFrameBody(data + pos + kLengthBytes, length);
+    if (!view.ok()) return view.status();
+    sink(*view);
     pos += kLengthBytes + length;
   }
-  buffer_.erase(buffer_.begin(), buffer_.begin() + pos);
+  buffer_.assign(data + pos, data + size);
   return Status::OK();
+}
+
+Status FrameAssembler::Feed(const uint8_t* data, size_t size,
+                            std::vector<Message>* out) {
+  return FeedViews(data, size, [out](const FrameView& view) {
+    out->push_back(view.ToMessage());
+  });
 }
 
 }  // namespace p2pdb::net

@@ -17,6 +17,7 @@
 #define P2PDB_NET_FRAME_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/net/message.h"
@@ -35,13 +36,42 @@ std::vector<uint8_t> EncodeFrame(const Message& msg);
 /// mismatch, an unknown message type, or an oversized length.
 Result<Message> DecodeFrame(const std::vector<uint8_t>& bytes);
 
+/// One CRC-verified frame whose payload still lives in the decode buffer —
+/// the zero-copy handoff between a socket read and message dispatch. The
+/// payload pointer is valid only as long as the underlying buffer (for
+/// FrameAssembler::FeedViews, only during the sink call).
+struct FrameView {
+  MessageType type = MessageType::kDiscoverRequest;
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  uint64_t seq = 0;
+  const uint8_t* payload = nullptr;
+  size_t payload_size = 0;
+
+  /// Owning message (payload copied out of the buffer).
+  Message ToMessage() const;
+  /// Message whose payload borrows the buffer; the receiver must call
+  /// payload.EnsureOwned() before the buffer is reused (net::Payload docs).
+  Message BorrowMessage() const;
+};
+
 /// Incremental frame reassembly over an arbitrary byte stream (socket reads
-/// deliver fragments and coalesced frames alike). Feed() buffers bytes and
-/// appends every completed message to `out`; a framing error (oversized
-/// length, CRC mismatch, undecodable header) poisons the stream — the caller
-/// should close the connection, as there is no way to resynchronize.
+/// deliver fragments and coalesced frames alike). Frames that arrive whole in
+/// one Feed are decoded in place — only a trailing partial frame is buffered
+/// until the rest of the stream arrives. A framing error (oversized length,
+/// CRC mismatch, undecodable header) poisons the stream — the caller should
+/// close the connection, as there is no way to resynchronize; like a single
+/// DecodeFrame, a corrupt frame is rejected whole (its sink is never called).
 class FrameAssembler {
  public:
+  using FrameSink = std::function<void(const FrameView&)>;
+
+  /// Zero-copy feed: invokes `sink` once per completed frame. The FrameView's
+  /// payload points into `data` (or into the internal partial-frame buffer)
+  /// and is invalidated when the sink returns.
+  Status FeedViews(const uint8_t* data, size_t size, const FrameSink& sink);
+
+  /// Owning feed: appends every completed message (payload copied) to `out`.
   Status Feed(const uint8_t* data, size_t size, std::vector<Message>* out);
 
   /// Bytes of an incomplete frame still waiting for the rest of the stream.

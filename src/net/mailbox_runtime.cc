@@ -80,6 +80,77 @@ void MailboxRuntime::Deliver(Message msg) {
   box->cv.notify_one();
 }
 
+void MailboxRuntime::DispatchFromTransport(Message&& msg) {
+  Mailbox* box = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = mailboxes_.find(msg.to);
+    if (it != mailboxes_.end()) box = it->second.get();
+  }
+  if (box == nullptr) {
+    CountDrop();
+    P2PDB_LOG(kWarn) << "dropping message to unknown peer: " << msg.ToString();
+    return;
+  }
+  PeerHandler* handler = nullptr;
+  {
+    std::lock_guard<std::mutex> box_lock(box->mutex);
+    if (box->handler == nullptr) {
+      CountDrop();
+      P2PDB_LOG(kWarn) << "dropping message to crashed peer: "
+                       << msg.ToString();
+      return;
+    }
+    if (box->busy || !box->queue.empty()) {
+      // Busy or backlogged: hand off to the peer's worker thread. The
+      // transport read buffer is reused the moment this returns, so a
+      // borrowed payload must become owned before it is queued.
+      in_flight_.fetch_add(1);
+      msg.payload.EnsureOwned();
+      box->queue.push_back(std::move(msg));
+      stats_.io().queued_dispatches.fetch_add(1);
+      box->cv.notify_one();
+      return;
+    }
+    box->busy = true;  // Claims dispatch rights; PeerLoop waits on !busy.
+    handler = box->handler;
+    in_flight_.fetch_add(1);
+  }
+  stats_.io().inline_dispatches.fetch_add(1);
+  if (tracer_) tracer_(NowMicros(), msg);
+  handler->OnMessage(msg);
+  {
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->busy = false;
+  }
+  box->cv.notify_all();
+  in_flight_.fetch_sub(1);
+}
+
+void MailboxRuntime::RunExclusive(NodeId id, const std::function<void()>& fn) {
+  Mailbox* box = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = mailboxes_.find(id);
+    if (it != mailboxes_.end()) box = it->second.get();
+  }
+  if (box == nullptr) {
+    fn();  // Never-registered peer: no dispatch to exclude.
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> box_lock(box->mutex);
+    box->cv.wait(box_lock, [&] { return !box->busy; });
+    box->busy = true;  // Claims dispatch rights; see DispatchFromTransport.
+  }
+  fn();
+  {
+    std::lock_guard<std::mutex> box_lock(box->mutex);
+    box->busy = false;
+  }
+  box->cv.notify_all();
+}
+
 void MailboxRuntime::ScheduleSend(uint64_t time_micros, Message msg) {
   in_flight_.fetch_add(1);  // Released when the timer hands it to Send.
   {
@@ -102,7 +173,11 @@ void MailboxRuntime::PeerLoop(Mailbox* box) {
     PeerHandler* handler = nullptr;
     {
       std::unique_lock<std::mutex> lock(box->mutex);
-      box->cv.wait(lock, [&] { return stop_.load() || !box->queue.empty(); });
+      // !busy: an inline transport dispatch may be inside the handler; per-
+      // peer serialization means this worker must not start another one.
+      box->cv.wait(lock, [&] {
+        return stop_.load() || (!box->queue.empty() && !box->busy);
+      });
       if (stop_.load()) return;  // Leftovers die with the runtime.
       msg = std::move(box->queue.front());
       box->queue.pop_front();

@@ -46,6 +46,12 @@ class MailboxRuntime : public Runtime {
   /// destroy the handler immediately afterwards.
   void UnregisterPeer(NodeId id) override;
 
+  /// Claims `id`'s mailbox the way a dispatch does (waits until no handler
+  /// upcall is running, holds the busy flag across `fn`), so control-plane
+  /// peer mutations serialize with message dispatch instead of racing it.
+  /// Messages arriving meanwhile queue up behind `fn`.
+  void RunExclusive(NodeId id, const std::function<void()>& fn) override;
+
   void ScheduleSend(uint64_t time_micros, Message msg) override;
   Status Run() override;
   /// Wall-clock churn hook: lets delivery threads run until `time_micros` of
@@ -60,6 +66,14 @@ class MailboxRuntime : public Runtime {
   /// Enqueues for local dispatch to msg.to's worker; counts a drop when the
   /// destination has no live handler. Thread-safe.
   void Deliver(Message msg);
+
+  /// Transport fast path: dispatches on the calling (reactor worker) thread
+  /// when the destination mailbox is idle — no thread handoff, and a borrowed
+  /// payload is consumed without copying. Falls back to the worker queue when
+  /// the mailbox is busy or has a backlog (taking ownership of the payload
+  /// first), which preserves per-peer serialization and per-connection FIFO
+  /// order. Thread-safe.
+  void DispatchFromTransport(Message&& msg);
 
   uint64_t NextSeq() { return next_seq_.fetch_add(1); }
   void CountDrop() { dropped_.fetch_add(1); }
@@ -87,7 +101,7 @@ class MailboxRuntime : public Runtime {
     std::condition_variable cv;
     std::deque<Message> queue;
     PeerHandler* handler = nullptr;
-    bool busy = false;  // A worker is inside handler->OnMessage.
+    bool busy = false;  // Some thread is inside handler->OnMessage.
   };
 
   void PeerLoop(Mailbox* box);

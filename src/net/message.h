@@ -4,11 +4,15 @@
 #ifndef P2PDB_NET_MESSAGE_H_
 #define P2PDB_NET_MESSAGE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/util/ids.h"
+#include "src/util/serde.h"
 
 namespace p2pdb::net {
 
@@ -38,12 +42,92 @@ const char* MessageTypeName(MessageType type);
 /// anything else before it reaches a peer).
 bool IsKnownMessageType(uint8_t raw);
 
+/// Message payload bytes: owned by default, borrowed on the zero-copy receive
+/// path. A borrowed payload points into a transport read buffer and is valid
+/// only until the dispatch that delivered it returns; the transport calls
+/// EnsureOwned() before parking a message in a queue. Copying a borrowed
+/// payload materializes an owned copy, so handlers that retain a message (or
+/// echo its payload into a reply) behave exactly as with an owned buffer.
+class Payload {
+ public:
+  Payload() = default;
+  Payload(std::vector<uint8_t> bytes) : owned_(std::move(bytes)) {}
+  Payload(std::initializer_list<uint8_t> bytes) : owned_(bytes) {}
+
+  /// A view into memory the caller keeps alive for the payload's lifetime.
+  static Payload Borrow(const uint8_t* data, size_t size) {
+    Payload p;
+    p.view_ = data;
+    p.view_size_ = size;
+    return p;
+  }
+
+  Payload(const Payload& other)
+      : owned_(other.view_ ? std::vector<uint8_t>(
+                                 other.view_, other.view_ + other.view_size_)
+                           : other.owned_) {}
+  Payload& operator=(const Payload& other) {
+    if (this != &other) {
+      Payload copy(other);
+      *this = std::move(copy);
+    }
+    return *this;
+  }
+  Payload(Payload&&) = default;
+  Payload& operator=(Payload&&) = default;
+
+  Payload& operator=(std::vector<uint8_t> bytes) {
+    owned_ = std::move(bytes);
+    view_ = nullptr;
+    view_size_ = 0;
+    return *this;
+  }
+  Payload& operator=(std::initializer_list<uint8_t> bytes) {
+    owned_.assign(bytes);
+    view_ = nullptr;
+    view_size_ = 0;
+    return *this;
+  }
+
+  const uint8_t* data() const { return view_ ? view_ : owned_.data(); }
+  size_t size() const { return view_ ? view_size_ : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  bool borrowed() const { return view_ != nullptr; }
+
+  /// Copies a borrowed view into owned storage; no-op when already owned.
+  void EnsureOwned() {
+    if (view_ == nullptr) return;
+    owned_.assign(view_, view_ + view_size_);
+    view_ = nullptr;
+    view_size_ = 0;
+  }
+
+  void assign(size_t count, uint8_t value) {
+    owned_.assign(count, value);
+    view_ = nullptr;
+    view_size_ = 0;
+  }
+
+  bool operator==(const Payload& other) const {
+    return size() == other.size() &&
+           std::equal(data(), data() + size(), other.data());
+  }
+
+  /// Decode-side view (wire::*::Decode and Reader accept this directly).
+  operator ByteView() const { return ByteView(data(), size()); }
+
+ private:
+  std::vector<uint8_t> owned_;
+  const uint8_t* view_ = nullptr;
+  size_t view_size_ = 0;
+};
+
 /// One message in flight.
 struct Message {
   MessageType type = MessageType::kDiscoverRequest;
   NodeId from = kNoNode;
   NodeId to = kNoNode;
-  std::vector<uint8_t> payload;
+  Payload payload;
   /// Sequence number assigned by the runtime at send time (debug/tracing).
   uint64_t seq = 0;
 

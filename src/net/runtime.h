@@ -70,6 +70,17 @@ class Runtime {
     return Run();
   }
 
+  /// Runs `fn` inside `id`'s per-peer serialization domain: mutually
+  /// exclusive with any OnMessage dispatch to `id`, so control-plane
+  /// mutations of peer state (starting discovery or an update) cannot race
+  /// handler upcalls arriving from the network. May block until the peer's
+  /// current dispatch finishes; never call it from inside a handler.
+  /// Default: single-threaded runtimes have nothing to exclude.
+  virtual void RunExclusive(NodeId id, const std::function<void()>& fn) {
+    (void)id;
+    fn();
+  }
+
   /// Current time in microseconds: simulated (SimRuntime) or wall-clock
   /// elapsed since construction (ThreadRuntime, TcpRuntime).
   virtual uint64_t NowMicros() const = 0;

@@ -4,6 +4,50 @@
 
 namespace p2pdb::net {
 
+void IoCounters::RecordQueueDepth(uint64_t bytes) {
+  uint64_t seen = send_queue_hwm_bytes.load(std::memory_order_relaxed);
+  while (bytes > seen && !send_queue_hwm_bytes.compare_exchange_weak(
+                             seen, bytes, std::memory_order_relaxed)) {
+  }
+}
+
+double IoCounters::FramesPerWritev() const {
+  uint64_t calls = writev_calls.load();
+  return calls == 0 ? 0.0
+                    : static_cast<double>(writev_frames.load()) /
+                          static_cast<double>(calls);
+}
+
+void IoCounters::Reset() {
+  epoll_wakeups = 0;
+  writev_calls = 0;
+  writev_frames = 0;
+  writev_bytes = 0;
+  accepts = 0;
+  connects = 0;
+  connect_failures = 0;
+  inline_dispatches = 0;
+  queued_dispatches = 0;
+  send_queue_hwm_bytes = 0;
+}
+
+std::string IoCounters::Report() const {
+  return StrFormat(
+      "io: wakeups=%llu writev=%llu frames=%llu (%.2f/call) bytes=%llu "
+      "accepts=%llu connects=%llu (failed %llu) dispatch inline=%llu "
+      "queued=%llu queue_hwm=%llu\n",
+      static_cast<unsigned long long>(epoll_wakeups.load()),
+      static_cast<unsigned long long>(writev_calls.load()),
+      static_cast<unsigned long long>(writev_frames.load()), FramesPerWritev(),
+      static_cast<unsigned long long>(writev_bytes.load()),
+      static_cast<unsigned long long>(accepts.load()),
+      static_cast<unsigned long long>(connects.load()),
+      static_cast<unsigned long long>(connect_failures.load()),
+      static_cast<unsigned long long>(inline_dispatches.load()),
+      static_cast<unsigned long long>(queued_dispatches.load()),
+      static_cast<unsigned long long>(send_queue_hwm_bytes.load()));
+}
+
 void NetStats::RecordSend(const Message& msg) {
   std::lock_guard<std::mutex> lock(mutex_);
   size_t bytes = msg.WireSize();
@@ -23,6 +67,7 @@ void NetStats::Reset() {
   total_bytes_ = 0;
   per_type_.clear();
   per_pipe_.clear();
+  io_.Reset();
 }
 
 uint64_t NetStats::total_messages() const {

@@ -4,6 +4,7 @@
 #ifndef P2PDB_NET_STATS_H_
 #define P2PDB_NET_STATS_H_
 
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <string>
@@ -15,6 +16,31 @@ namespace p2pdb::net {
 struct PipeStats {
   uint64_t messages = 0;
   uint64_t bytes = 0;
+};
+
+/// Syscall-level transport counters, updated lock-free from reactor workers
+/// and the dispatch path. writev_frames / writev_calls is the small-frame
+/// batching factor; send_queue_hwm_bytes is the worst backpressure depth any
+/// connection reached; inline vs queued dispatches show how often a frame
+/// went straight from the socket read into the peer handler without a thread
+/// handoff.
+struct IoCounters {
+  std::atomic<uint64_t> epoll_wakeups{0};
+  std::atomic<uint64_t> writev_calls{0};
+  std::atomic<uint64_t> writev_frames{0};
+  std::atomic<uint64_t> writev_bytes{0};
+  std::atomic<uint64_t> accepts{0};
+  std::atomic<uint64_t> connects{0};
+  std::atomic<uint64_t> connect_failures{0};
+  std::atomic<uint64_t> inline_dispatches{0};
+  std::atomic<uint64_t> queued_dispatches{0};
+  std::atomic<uint64_t> send_queue_hwm_bytes{0};
+
+  /// Raises send_queue_hwm_bytes to `bytes` if it is a new maximum.
+  void RecordQueueDepth(uint64_t bytes);
+  double FramesPerWritev() const;
+  void Reset();
+  std::string Report() const;
 };
 
 /// Thread-safe counters shared by all pipes of a runtime.
@@ -36,12 +62,18 @@ class NetStats {
   /// Tabular report of counters per message type.
   std::string Report() const;
 
+  /// Transport-level counters (epoll wakeups, writev batching, queue depth);
+  /// only socket-backed runtimes populate them.
+  IoCounters& io() { return io_; }
+  const IoCounters& io() const { return io_; }
+
  private:
   mutable std::mutex mutex_;
   uint64_t total_messages_ = 0;
   uint64_t total_bytes_ = 0;
   std::map<MessageType, PipeStats> per_type_;
   std::map<std::pair<NodeId, NodeId>, PipeStats> per_pipe_;
+  IoCounters io_;
 };
 
 }  // namespace p2pdb::net

@@ -1,82 +1,11 @@
 #include "src/net/tcp_runtime.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 
-#include "src/net/frame.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
 namespace p2pdb::net {
-
-namespace {
-
-/// Poll granularity for accept/read loops; bounds teardown latency.
-constexpr int kPollMillis = 50;
-
-/// Bound on one connect attempt. Send holds the per-destination write lock
-/// while connecting, so a blackholed endpoint must fail fast instead of
-/// stalling every sender to that node for the kernel's SYN timeout.
-constexpr int kConnectMillis = 1'000;
-
-int ConnectTo(const TcpRuntime::Endpoint& endpoint) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(endpoint.port);
-  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
-    return -1;
-  }
-  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
-  if (fd < 0) return -1;
-  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  if (rc != 0 && errno == EINPROGRESS) {
-    pollfd pfd{fd, POLLOUT, 0};
-    rc = -1;
-    if (::poll(&pfd, 1, kConnectMillis) == 1) {
-      int err = 0;
-      socklen_t len = sizeof(err);
-      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 &&
-          err == 0) {
-        rc = 0;
-      }
-    }
-  }
-  if (rc != 0) {
-    ::close(fd);
-    return -1;
-  }
-  // Back to blocking for the write path; keep latency low on small frames.
-  int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return fd;
-}
-
-/// Writes the whole buffer; MSG_NOSIGNAL turns a dead peer into EPIPE
-/// instead of a process-killing signal.
-bool WriteAll(int fd, const uint8_t* data, size_t size) {
-  size_t off = 0;
-  while (off < size) {
-    ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
 
 std::string TcpRuntime::Endpoint::ToString() const {
   return host + ":" + std::to_string(port);
@@ -107,7 +36,15 @@ Result<TcpRuntime::Endpoint> TcpRuntime::Endpoint::Parse(
 TcpRuntime::TcpRuntime(Options options)
     : MailboxRuntime(MailboxRuntime::Options{options.timeout,
                                              options.quiet_window}),
-      options_(std::move(options)) {}
+      options_(std::move(options)) {
+  Reactor::Options reactor_options;
+  reactor_options.workers = options_.io_workers;
+  reactor_options.send_queue_limit = options_.send_queue_limit;
+  reactor_options.connect_timeout = options_.connect_timeout;
+  reactor_options.counters = &stats_.io();
+  reactor_ = std::make_unique<Reactor>(reactor_options,
+                                       static_cast<Reactor::Handler*>(this));
+}
 
 TcpRuntime::~TcpRuntime() { Shutdown(); }
 
@@ -121,49 +58,60 @@ void TcpRuntime::RegisterPeer(NodeId id, PeerHandler* handler) {
 }
 
 void TcpRuntime::UnregisterPeer(NodeId id) {
-  // Socket teardown first: after this, frames to `id` are refused or reset by
-  // the kernel, which is exactly what the dropped counter observes.
-  CloseListener(id);
-  CloseOutbound(id);
+  {
+    std::lock_guard<std::mutex> lock(net_mutex_);
+    listen_ports_.erase(id);
+    // The endpoint row stays: reconnect-on-send probes the stale port (the
+    // kernel refuses, counted as drops) until a restart overwrites it.
+    outbound_.erase(id);
+  }
+  // Socket teardown before handler detach: after this, frames to `id` are
+  // refused or reset by the kernel, which is exactly what the dropped
+  // counter observes. Closes `id`'s listener, the connections accepted on
+  // it, and the shared outbound connection to `id`.
+  reactor_->CloseToken(id);
   MailboxRuntime::UnregisterPeer(id);
+}
+
+std::shared_ptr<Connection> TcpRuntime::OutboundFor(NodeId to) {
+  std::lock_guard<std::mutex> lock(net_mutex_);
+  auto it = endpoints_.find(to);
+  if (it == endpoints_.end() || it->second.port == 0) return nullptr;
+  auto& slot = outbound_[to];
+  if (slot == nullptr || slot->closed()) {
+    // Reconnect-on-send: the cached connection may point at a dead (crashed
+    // or pre-restart) incarnation of the peer; a fresh connect gives the
+    // current endpoint table row a chance.
+    slot = reactor_->Connect(it->second.host, it->second.port, to);
+  }
+  return slot;
 }
 
 void TcpRuntime::Send(Message msg) {
   msg.seq = NextSeq();
   stats_.RecordSend(msg);
-  Endpoint endpoint;
-  Outbound* conn = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(net_mutex_);
-    auto it = endpoints_.find(msg.to);
-    if (it != endpoints_.end()) endpoint = it->second;
-    auto& slot = outbound_[msg.to];
-    if (slot == nullptr) slot = std::make_unique<Outbound>();
-    conn = slot.get();
-  }
-  if (endpoint.port == 0) {
-    CountDrop();
-    P2PDB_LOG(kWarn) << "dropping message to unknown endpoint: "
-                     << msg.ToString();
-    return;
-  }
   std::vector<uint8_t> frame = EncodeFrame(msg);
-  std::lock_guard<std::mutex> lock(conn->mutex);
-  // Reconnect-on-send: the cached connection may point at a dead (crashed or
-  // pre-restart) incarnation of the peer; one fresh connect gets the current
-  // endpoint table row a chance.
+  // In-flight from here until the frame reaches the kernel (OnWritten) or is
+  // dropped (OnClose / the fall-through below) — quiescence detection covers
+  // queued frames exactly.
+  HoldWork();
   for (int attempt = 0; attempt < 2; ++attempt) {
-    if (conn->fd < 0) {
-      conn->fd = ConnectTo(endpoint);
-      if (conn->fd < 0) continue;
+    std::shared_ptr<Connection> conn = OutboundFor(msg.to);
+    if (conn == nullptr) {
+      ReleaseWork();
+      CountDrop();
+      P2PDB_LOG(kWarn) << "dropping message to unknown endpoint: "
+                       << msg.ToString();
+      return;
     }
-    if (WriteAll(conn->fd, frame.data(), frame.size())) return;
-    ::close(conn->fd);
-    conn->fd = -1;
+    // On success the reactor owns the frame and reports it exactly once; a
+    // false return means the connection closed underneath us and the frame
+    // is untouched — retry once on a fresh connection.
+    if (conn->Enqueue(std::move(frame))) return;
   }
+  ReleaseWork();
   CountDrop();
-  P2PDB_LOG(kWarn) << "kernel refused delivery (" << std::strerror(errno)
-                   << "): " << msg.ToString();
+  P2PDB_LOG(kWarn) << "kernel refused delivery: " << msg.ToString();
 }
 
 void TcpRuntime::AddRemoteEndpoint(NodeId id, Endpoint endpoint) {
@@ -179,7 +127,7 @@ TcpRuntime::Endpoint TcpRuntime::EndpointOf(NodeId id) const {
 
 Status TcpRuntime::PeerReady(NodeId id) const {
   std::lock_guard<std::mutex> lock(net_mutex_);
-  if (listeners_.count(id) == 0) {
+  if (listen_ports_.count(id) == 0) {
     return Status::Internal("node " + std::to_string(id) +
                             " has no listening endpoint");
   }
@@ -188,8 +136,8 @@ Status TcpRuntime::PeerReady(NodeId id) const {
 
 uint16_t TcpRuntime::ListenPort(NodeId id) const {
   std::lock_guard<std::mutex> lock(net_mutex_);
-  auto it = listeners_.find(id);
-  return it == listeners_.end() ? 0 : it->second->port;
+  auto it = listen_ports_.find(id);
+  return it == listen_ports_.end() ? 0 : it->second;
 }
 
 std::string TcpRuntime::EndpointTable() const {
@@ -202,209 +150,74 @@ std::string TcpRuntime::EndpointTable() const {
 }
 
 Status TcpRuntime::OpenListener(NodeId id) {
-  auto listener = std::make_unique<Listener>();
-  listener->node = id;
-  listener->fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener->fd < 0) return Status::Internal("socket() failed");
-  int one = 1;
-  ::setsockopt(listener->fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = 0;  // Kernel-assigned port.
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listener->fd);
-    return Status::InvalidArgument("bad listen host " + options_.host);
+  {
+    std::lock_guard<std::mutex> lock(net_mutex_);
+    if (listen_ports_.count(id) > 0) {
+      // Registered twice without a crash in between: keep the first listener
+      // (its port is already in other runtimes' tables).
+      return Status::OK();
+    }
   }
-  if (::bind(listener->fd, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listener->fd, SOMAXCONN) != 0) {
-    ::close(listener->fd);
-    return Status::Internal("cannot listen on " + options_.host + ": " +
-                            std::strerror(errno));
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(listener->fd, reinterpret_cast<sockaddr*>(&addr), &len) !=
-      0) {
-    ::close(listener->fd);
-    return Status::Internal("getsockname failed");
-  }
-  listener->port = ntohs(addr.sin_port);
-
+  Result<uint16_t> port = reactor_->Listen(options_.host, id);
+  if (!port.ok()) return port.status();
   std::lock_guard<std::mutex> lock(net_mutex_);
-  if (listeners_.count(id) > 0) {
-    // Registered twice without a crash in between: keep the first listener
-    // (its port is already in other runtimes' tables).
-    ::close(listener->fd);
-    return Status::OK();
-  }
-  endpoints_[id] = Endpoint{options_.host, listener->port};
-  Listener* raw = listener.get();
-  listeners_[id] = std::move(listener);
-  raw->accept_thread = std::thread(&TcpRuntime::AcceptLoop, this, raw);
+  listen_ports_[id] = *port;
+  endpoints_[id] = Endpoint{options_.host, *port};
   return Status::OK();
 }
 
-void TcpRuntime::ReapFinishedReaders(Listener* listener) {
-  std::vector<std::unique_ptr<ReaderThread>> finished;
-  {
-    std::lock_guard<std::mutex> lock(listener->mutex);
-    for (auto it = listener->readers.begin();
-         it != listener->readers.end();) {
-      if ((*it)->done.load()) {
-        finished.push_back(std::move(*it));
-        it = listener->readers.erase(it);
-      } else {
-        ++it;
-      }
-    }
+bool TcpRuntime::OnRead(Connection* conn, const uint8_t* data, size_t size) {
+  auto* state = static_cast<ReadState*>(conn->user_data);
+  if (state == nullptr) {
+    state = new ReadState();
+    conn->user_data = state;
   }
-  for (auto& reader : finished) {
-    if (reader->thread.joinable()) reader->thread.join();
+  if (!state->holding) {
+    HoldWork();
+    state->holding = true;
+  }
+  // Complete frames dispatch straight out of the reactor's read buffer: the
+  // payload view stays borrowed through an inline dispatch and is only
+  // copied when the destination mailbox is busy.
+  Status fed = state->assembler.FeedViews(
+      data, size, [this](const FrameView& view) {
+        DispatchFromTransport(view.BorrowMessage());
+      });
+  if (state->holding && state->assembler.buffered_bytes() == 0) {
+    ReleaseWork();
+    state->holding = false;
+  }
+  if (!fed.ok()) {
+    // A poisoned stream cannot be resynchronized; drop the connection.
+    P2PDB_LOG(kWarn) << "closing corrupt stream to node " << conn->token()
+                     << ": " << fed.ToString();
+    return false;
+  }
+  return true;
+}
+
+void TcpRuntime::OnWritten(Connection* conn, size_t frames) {
+  (void)conn;
+  for (size_t i = 0; i < frames; ++i) ReleaseWork();
+}
+
+void TcpRuntime::OnClose(Connection* conn, size_t dropped_frames) {
+  auto* state = static_cast<ReadState*>(conn->user_data);
+  if (state != nullptr) {
+    if (state->holding) ReleaseWork();
+    delete state;
+    conn->user_data = nullptr;
+  }
+  for (size_t i = 0; i < dropped_frames; ++i) {
+    CountDrop();
+    ReleaseWork();
+  }
+  if (dropped_frames > 0) {
+    P2PDB_LOG(kWarn) << "kernel refused delivery of " << dropped_frames
+                     << " frame(s) to node " << conn->token();
   }
 }
 
-void TcpRuntime::AcceptLoop(Listener* listener) {
-  while (!listener->stop.load()) {
-    ReapFinishedReaders(listener);
-    pollfd pfd{listener->fd, POLLIN, 0};
-    int ready = ::poll(&pfd, 1, kPollMillis);
-    if (ready <= 0) continue;
-    int fd = ::accept(listener->fd, nullptr, nullptr);
-    if (fd < 0) continue;
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(listener->mutex);
-    if (listener->stop.load()) {
-      ::close(fd);
-      return;
-    }
-    listener->conn_fds.push_back(fd);
-    auto reader = std::make_unique<ReaderThread>();
-    ReaderThread* raw = reader.get();
-    listener->readers.push_back(std::move(reader));
-    raw->thread = std::thread(&TcpRuntime::ReadLoop, this, listener, fd, raw);
-  }
-}
-
-void TcpRuntime::ReadLoop(Listener* listener, int fd, ReaderThread* self) {
-  FrameAssembler assembler;
-  uint8_t buffer[64 * 1024];
-  std::vector<Message> messages;
-  // While the assembler holds a partial frame, that frame is in-flight work
-  // quiescence must wait for (nothing else counts it: the sender's write
-  // completed and no mailbox has seen the message yet).
-  bool holding = false;
-  while (!listener->stop.load()) {
-    pollfd pfd{fd, POLLIN, 0};
-    int ready = ::poll(&pfd, 1, kPollMillis);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0) continue;
-    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n == 0) break;  // Clean close by the sender.
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;  // Reset — the sender crashed.
-    }
-    if (!holding) {
-      HoldWork();
-      holding = true;
-    }
-    messages.clear();
-    Status fed = assembler.Feed(buffer, static_cast<size_t>(n), &messages);
-    for (Message& msg : messages) Deliver(std::move(msg));
-    if (assembler.buffered_bytes() == 0) {
-      ReleaseWork();
-      holding = false;
-    }
-    if (!fed.ok()) {
-      // A poisoned stream cannot be resynchronized; drop the connection.
-      P2PDB_LOG(kWarn) << "closing corrupt stream to node " << listener->node
-                       << ": " << fed.ToString();
-      break;
-    }
-  }
-  if (holding) ReleaseWork();
-  {
-    std::lock_guard<std::mutex> lock(listener->mutex);
-    for (auto it = listener->conn_fds.begin();
-         it != listener->conn_fds.end(); ++it) {
-      if (*it == fd) {
-        listener->conn_fds.erase(it);
-        ::close(fd);
-        break;
-      }
-    }
-  }
-  self->done.store(true);  // Reapable by the accept loop (or CloseListener).
-}
-
-void TcpRuntime::CloseListener(NodeId id) {
-  std::unique_ptr<Listener> listener;
-  {
-    std::lock_guard<std::mutex> lock(net_mutex_);
-    auto it = listeners_.find(id);
-    if (it == listeners_.end()) return;
-    listener = std::move(it->second);
-    listeners_.erase(it);
-  }
-  listener->stop.store(true);
-  if (listener->accept_thread.joinable()) listener->accept_thread.join();
-  std::vector<std::unique_ptr<ReaderThread>> readers;
-  {
-    std::lock_guard<std::mutex> lock(listener->mutex);
-    // Unblock readers parked in poll/recv; each closes its own fd on exit.
-    for (int fd : listener->conn_fds) ::shutdown(fd, SHUT_RDWR);
-    readers.swap(listener->readers);
-  }
-  for (auto& reader : readers) {
-    if (reader->thread.joinable()) reader->thread.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(listener->mutex);
-    for (int fd : listener->conn_fds) ::close(fd);
-    listener->conn_fds.clear();
-  }
-  ::close(listener->fd);
-  listener->fd = -1;
-}
-
-void TcpRuntime::CloseOutbound(NodeId id) {
-  Outbound* conn = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(net_mutex_);
-    auto it = outbound_.find(id);
-    if (it == outbound_.end()) return;
-    conn = it->second.get();
-  }
-  std::lock_guard<std::mutex> lock(conn->mutex);
-  if (conn->fd >= 0) {
-    ::close(conn->fd);
-    conn->fd = -1;
-  }
-}
-
-void TcpRuntime::StopIo() {
-  std::vector<NodeId> ids;
-  {
-    std::lock_guard<std::mutex> lock(net_mutex_);
-    for (const auto& [id, listener] : listeners_) {
-      (void)listener;
-      ids.push_back(id);
-    }
-  }
-  for (NodeId id : ids) {
-    CloseListener(id);
-    CloseOutbound(id);
-  }
-  std::lock_guard<std::mutex> lock(net_mutex_);
-  for (auto& [id, conn] : outbound_) {
-    (void)id;
-    std::lock_guard<std::mutex> conn_lock(conn->mutex);
-    if (conn->fd >= 0) {
-      ::close(conn->fd);
-      conn->fd = -1;
-    }
-  }
-}
+void TcpRuntime::StopIo() { reactor_->Stop(); }
 
 }  // namespace p2pdb::net

@@ -1,11 +1,13 @@
 // TcpRuntime: peers as real network endpoints. Every registered peer owns a
 // listening TCP socket (loopback by default, kernel-assigned port), every
 // Send() serializes the message through the frame codec (net/frame.h) and
-// writes it to a per-destination connection, and background reader threads
-// reassemble frames back into messages for the shared mailbox dispatch of
-// MailboxRuntime. The endpoint table (NodeId -> host:port) routes sends;
-// entries for local peers are filled in automatically, remote entries let a
-// network span several runtimes (or, eventually, processes).
+// queues it on a per-destination connection, and a small epoll reactor pool
+// (net/reactor.h) drives all sockets — nonblocking accept/read/write, writev
+// batching of queued frames, zero-copy frame reassembly straight out of the
+// reactor's read buffer into MailboxRuntime's dispatch. The endpoint table
+// (NodeId -> host:port) routes sends; entries for local peers are filled in
+// automatically, remote entries let a network span several runtimes (or,
+// eventually, processes).
 //
 // Churn is a connection event, as in the dynamic-P2P literature: crashing a
 // peer (UnregisterPeer) closes its listener and sockets, so messages to it
@@ -15,18 +17,17 @@
 #ifndef P2PDB_NET_TCP_RUNTIME_H_
 #define P2PDB_NET_TCP_RUNTIME_H_
 
-#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
-#include <thread>
-#include <vector>
 
+#include "src/net/frame.h"
 #include "src/net/mailbox_runtime.h"
+#include "src/net/reactor.h"
 
 namespace p2pdb::net {
 
-class TcpRuntime : public MailboxRuntime {
+class TcpRuntime : public MailboxRuntime, private Reactor::Handler {
  public:
   /// One row of the endpoint table.
   struct Endpoint {
@@ -41,12 +42,21 @@ class TcpRuntime : public MailboxRuntime {
   struct Options {
     /// Run() fails if quiescence is not reached within this bound.
     std::chrono::milliseconds timeout{30'000};
-    /// Quiescence quiet window; wider than ThreadRuntime's because a frame
-    /// briefly lives only in a kernel socket buffer, invisible to the
-    /// in-flight counter.
-    std::chrono::microseconds quiet_window{25'000};
+    /// Quiescence quiet window. The reactor's send queues are counted as
+    /// in-flight work (held from Enqueue until the frame reaches the kernel
+    /// or is dropped), so the window only has to cover kernel socket-buffer
+    /// residency — microseconds on loopback — plus scheduling noise. Raise
+    /// it when endpoints cross real links.
+    std::chrono::microseconds quiet_window{10'000};
     /// Address listeners bind to (and the host recorded for local peers).
     std::string host = "127.0.0.1";
+    /// Reactor worker (event-loop) threads; 0 = hardware concurrency.
+    int io_workers = 0;
+    /// Per-connection send-queue bound; senders to a slow receiver block
+    /// once its queue holds this many bytes.
+    size_t send_queue_limit = 4u << 20;
+    /// Bound on one nonblocking connect attempt.
+    std::chrono::milliseconds connect_timeout{1'000};
   };
 
   TcpRuntime() : TcpRuntime(Options{}) {}
@@ -66,9 +76,11 @@ class TcpRuntime : public MailboxRuntime {
   /// the peer was unregistered) — such a peer silently drops every message.
   Status PeerReady(NodeId id) const override;
 
-  /// Frames and writes the message to the destination's endpoint, opening or
-  /// reviving the connection as needed (one reconnect attempt — a restarted
-  /// peer listens on a new port). Failures are dropped messages.
+  /// Frames the message and queues it on the destination's connection,
+  /// opening or reviving the connection as needed (one reconnect attempt — a
+  /// restarted peer listens on a new port). The reactor writes it out
+  /// asynchronously; failures are dropped messages, counted when the kernel
+  /// refuses them.
   void Send(Message msg) override;
 
   // --- Endpoint table ---
@@ -89,48 +101,36 @@ class TcpRuntime : public MailboxRuntime {
   void StopIo() override;
 
  private:
-  /// One reader thread per accepted connection; `done` lets the accept loop
-  /// reap exited readers so long-lived runtimes don't accumulate zombies.
-  struct ReaderThread {
-    std::thread thread;
-    std::atomic<bool> done{false};
+  /// Per-connection frame reassembly, hung off Connection::user_data and
+  /// touched only by the connection's owning reactor worker. While the
+  /// assembler holds a partial frame, that frame is in-flight work
+  /// quiescence must wait for (nothing else counts it: the sender released
+  /// its hold when the bytes reached the kernel, and no mailbox has seen the
+  /// message yet).
+  struct ReadState {
+    FrameAssembler assembler;
+    bool holding = false;
   };
 
-  /// A local peer's listening socket plus the connections accepted on it.
-  struct Listener {
-    NodeId node = kNoNode;
-    int fd = -1;
-    uint16_t port = 0;
-    std::atomic<bool> stop{false};
-    std::thread accept_thread;
-    std::mutex mutex;  // Guards conn_fds and readers.
-    std::vector<int> conn_fds;
-    std::vector<std::unique_ptr<ReaderThread>> readers;
-  };
+  // Reactor::Handler (reactor worker threads).
+  bool OnRead(Connection* conn, const uint8_t* data, size_t size) override;
+  void OnWritten(Connection* conn, size_t frames) override;
+  void OnClose(Connection* conn, size_t dropped_frames) override;
 
-  /// Cached outbound connection to one destination; writes are serialized.
-  /// Entries are never erased (fd is just closed), so pointers stay stable.
-  struct Outbound {
-    std::mutex mutex;
-    int fd = -1;
-  };
-
-  void AcceptLoop(Listener* listener);
-  void ReadLoop(Listener* listener, int fd, ReaderThread* self);
-  /// Joins and discards readers whose connection has ended.
-  static void ReapFinishedReaders(Listener* listener);
-  /// Opens a listening socket for `id` and records its endpoint.
+  /// Opens a listening socket for `id` and records its endpoint; keeps the
+  /// first listener when `id` is already listening.
   Status OpenListener(NodeId id);
-  /// Extracts `id`'s listener and tears it down (joins its threads).
-  void CloseListener(NodeId id);
-  /// Closes the cached outbound connection to `id`, if any.
-  void CloseOutbound(NodeId id);
+
+  /// The cached outbound connection to `to`, reconnected if dead; nullptr
+  /// when the endpoint table has no row.
+  std::shared_ptr<Connection> OutboundFor(NodeId to);
 
   Options options_;
-  mutable std::mutex net_mutex_;  // endpoints_, listeners_, outbound_.
+  std::unique_ptr<Reactor> reactor_;
+  mutable std::mutex net_mutex_;  // endpoints_, listen_ports_, outbound_.
   std::map<NodeId, Endpoint> endpoints_;
-  std::map<NodeId, std::unique_ptr<Listener>> listeners_;
-  std::map<NodeId, std::unique_ptr<Outbound>> outbound_;
+  std::map<NodeId, uint16_t> listen_ports_;
+  std::map<NodeId, std::shared_ptr<Connection>> outbound_;
 };
 
 }  // namespace p2pdb::net

@@ -40,11 +40,24 @@ class Writer {
 /// Encoded size of PutVarint(v), without writing anything.
 size_t VarintLength(uint64_t v);
 
+/// Non-owning view of encoded bytes. Decode entry points take this so owned
+/// buffers and zero-copy payload views (net::Payload borrowing a transport
+/// read buffer) decode through the same signature without a copy.
+struct ByteView {
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+
+  ByteView() = default;
+  ByteView(const uint8_t* d, size_t n) : data(d), size(n) {}
+  ByteView(const std::vector<uint8_t>& v) : data(v.data()), size(v.size()) {}
+};
+
 /// Reads values written by Writer, with bounds checking.
 class Reader {
  public:
   explicit Reader(const std::vector<uint8_t>& bytes)
       : data_(bytes.data()), size_(bytes.size()) {}
+  explicit Reader(ByteView bytes) : data_(bytes.data), size_(bytes.size) {}
   Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
   Result<uint8_t> GetU8();

@@ -136,6 +136,111 @@ TEST(FrameAssemblerTest, PoisonedStreamReportsError) {
   EXPECT_FALSE(assembler2.Feed(giant.data(), giant.size(), &got).ok());
 }
 
+TEST(FrameAssemblerTest, FeedViewsBorrowsPayloadOnlyDuringSink) {
+  Message msg = Make(MessageType::kQueryAnswer, 1, 2, 3, {10, 20, 30, 40});
+  std::vector<uint8_t> stream = EncodeFrame(msg);
+
+  FrameAssembler assembler;
+  Message borrowed_then_kept;
+  int sinks = 0;
+  Status fed = assembler.FeedViews(
+      stream.data(), stream.size(), [&](const FrameView& view) {
+        ++sinks;
+        // Inside the sink, the payload aliases the fed buffer: zero copies.
+        EXPECT_GE(view.payload, stream.data());
+        EXPECT_LE(view.payload + view.payload_size,
+                  stream.data() + stream.size());
+        Message m = view.BorrowMessage();
+        EXPECT_TRUE(m.payload.borrowed());
+        EXPECT_TRUE(SameMessage(m, msg));
+        // A receiver that outlives the sink must take ownership — after
+        // EnsureOwned the message survives the buffer being clobbered.
+        m.payload.EnsureOwned();
+        EXPECT_FALSE(m.payload.borrowed());
+        borrowed_then_kept = std::move(m);
+      });
+  ASSERT_TRUE(fed.ok());
+  EXPECT_EQ(sinks, 1);
+  std::fill(stream.begin(), stream.end(), 0xee);  // Reuse the read buffer.
+  EXPECT_TRUE(SameMessage(borrowed_then_kept, msg));
+
+  // Copying a borrowed payload also materializes it (handlers that echo a
+  // request payload into a reply never see the buffer die underneath them).
+  Message copy_target;
+  std::vector<uint8_t> stream2 = EncodeFrame(msg);
+  Status fed2 = assembler.FeedViews(
+      stream2.data(), stream2.size(), [&](const FrameView& view) {
+        Message m = view.BorrowMessage();
+        copy_target.payload = m.payload;  // Copy-assign: deep copies the view.
+      });
+  ASSERT_TRUE(fed2.ok());
+  EXPECT_FALSE(copy_target.payload.borrowed());
+  EXPECT_TRUE(copy_target.payload == msg.payload);
+}
+
+TEST(FrameAssemblerTest, FeedViewsCarriedPartialFrameStaysZeroCopyCorrect) {
+  // A frame split across feeds decodes from the internal carry buffer; views
+  // for it alias that buffer, views for frames that arrive whole alias the
+  // input. Both must yield identical messages.
+  std::vector<Message> sent;
+  std::vector<uint8_t> stream;
+  for (int i = 0; i < 8; ++i) {
+    Message m = Make(MessageType::kPartialUpdate, i, i + 1, 100 + i,
+                     std::vector<uint8_t>(static_cast<size_t>(3 + i * 11),
+                                          static_cast<uint8_t>(i)));
+    std::vector<uint8_t> frame = EncodeFrame(m);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+    sent.push_back(std::move(m));
+  }
+  for (size_t chunk : {size_t{1}, size_t{2}, size_t{7}, size_t{64}}) {
+    FrameAssembler assembler;
+    std::vector<Message> got;
+    for (size_t pos = 0; pos < stream.size(); pos += chunk) {
+      size_t n = std::min(chunk, stream.size() - pos);
+      ASSERT_TRUE(assembler
+                      .FeedViews(stream.data() + pos, n,
+                                 [&](const FrameView& view) {
+                                   got.push_back(view.ToMessage());
+                                 })
+                      .ok());
+    }
+    ASSERT_EQ(got.size(), sent.size()) << "chunk " << chunk;
+    for (size_t i = 0; i < sent.size(); ++i) {
+      EXPECT_TRUE(SameMessage(got[i], sent[i])) << "chunk " << chunk;
+    }
+    EXPECT_EQ(assembler.buffered_bytes(), 0u);
+  }
+}
+
+TEST(FrameAssemblerTest, FeedViewsRejectsCorruptFramesWhole) {
+  // Whole-frame rejection on the zero-copy path: a corrupt frame's sink is
+  // never called, no matter where in the frame the damage sits.
+  Message msg = Make(MessageType::kToken, 3, 4, 5, {1, 2, 3, 4, 5});
+  std::vector<uint8_t> frame = EncodeFrame(msg);
+  for (size_t i = 4; i < frame.size(); ++i) {
+    std::vector<uint8_t> bad = frame;
+    bad[i] ^= 0xff;
+    FrameAssembler assembler;
+    int sinks = 0;
+    Status fed = assembler.FeedViews(bad.data(), bad.size(),
+                                     [&](const FrameView&) { ++sinks; });
+    EXPECT_FALSE(fed.ok()) << "byte " << i;
+    EXPECT_EQ(sinks, 0) << "byte " << i;
+  }
+  // Same guarantee when the corrupt frame trickles in byte by byte (decode
+  // happens from the carry buffer instead of the input).
+  frame[6] ^= 0xff;
+  FrameAssembler assembler;
+  int sinks = 0;
+  Status status = Status::OK();
+  for (uint8_t byte : frame) {
+    status = assembler.FeedViews(&byte, 1, [&](const FrameView&) { ++sinks; });
+    if (!status.ok()) break;
+  }
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(sinks, 0);
+}
+
 TEST(FrameAssemblerTest, DeliversCompleteFramesBeforePoison) {
   Message good = Make(MessageType::kToken, 1, 2, 3, {6});
   Message bad = Make(MessageType::kToken, 1, 2, 4, {7});
