@@ -2,13 +2,17 @@
 // payloads), raw loopback ping-pong latency, and end-to-end discovery+update
 // wall-clock on TcpRuntime vs ThreadRuntime (same scenario, same protocol —
 // the delta is the socket hop plus quiescence detection over sockets).
+// Also measures causal-tracing overhead (off / every root / sampled 1-in-4)
+// on a durable TCP update, and can dump the observability snapshot
+// (metrics registry + trace reports) as obs.json via --obs.
 // Emits BENCH_tcp.json in the same shape as the other harnesses.
 //
-//   ./bench_tcp [--out FILE] [--repeat N] [--filter SUBSTR]
+//   ./bench_tcp [--out FILE] [--repeat N] [--filter SUBSTR] [--obs FILE]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -21,6 +25,9 @@
 #include "src/net/frame.h"
 #include "src/net/tcp_runtime.h"
 #include "src/net/thread_runtime.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/storage/storage_manager.h"
 
 namespace p2pdb::bench {
 namespace {
@@ -212,6 +219,12 @@ BenchResult PeerScalingBench(const std::string& name, size_t peers,
   }
   double wall_ms = MsSince(start);
   double wall_s = wall_ms / 1000.0;
+  // Registry snapshot of the transport counters: the same numbers obs.json
+  // carries, folded into the bench row so CI trend lines catch transport
+  // regressions (batching collapse, queue growth) without a separate dump.
+  obs::Registry registry;
+  rt.stats().ExportTo(registry, "net.");
+  obs::Registry::Snapshot snap = registry.TakeSnapshot();
   result.metrics = {
       {"wall_ms", wall_ms},
       {"peers", static_cast<double>(peers)},
@@ -219,6 +232,10 @@ BenchResult PeerScalingBench(const std::string& name, size_t peers,
       {"payload_bytes", 64},
       {"frames_per_sec", wall_s > 0 ? frames / wall_s : 0},
       {"frames_per_writev", rt.stats().io().FramesPerWritev()},
+      {"inline_dispatch_ratio_x1000",
+       static_cast<double>(snap.gauges["net.io.inline_dispatch_ratio_x1000"])},
+      {"send_queue_hwm_bytes",
+       static_cast<double>(snap.gauges["net.io.send_queue_hwm_bytes"])},
       {"dropped", static_cast<double>(rt.dropped_count())},
   };
   return result;
@@ -261,6 +278,75 @@ BenchResult SessionUpdateBench(const std::string& name, net::Runtime* rt,
   return result;
 }
 
+/// Trace-overhead microbench: the update_tcp_tree8 scenario with durable
+/// storage on every node (so chase, WAL and queue-wait instruments all fire)
+/// and causal tracing at a given sampling rate. sample_every == 0 runs with
+/// tracing fully off — the code is compiled in but every message carries
+/// trace_id 0 and the detailed-timing gate is closed, which is the ≤1%
+/// steady-state overhead configuration. 1 traces every root update; N traces
+/// 1-in-N. When `obs_path` is non-empty the run also folds the runtime
+/// counters into the global registry and dumps the full observability
+/// snapshot (metrics + trace reports) as JSON.
+BenchResult TracedUpdateBench(const std::string& name, size_t nodes,
+                              size_t records, uint32_t sample_every,
+                              const std::string& obs_path) {
+  BenchResult result;
+  result.name = name;
+  workload::ScenarioOptions options;
+  options.topology.kind = workload::TopologySpec::Kind::kTree;
+  options.topology.nodes = nodes;
+  options.records_per_node = records;
+  auto system = workload::BuildScenario(options);
+  if (!system.ok()) return result;
+
+  net::TcpRuntime rt;
+  core::Session session(*system, &rt);
+  obs::TraceCollector collector;
+  if (sample_every > 0) session.EnableTracing(&collector, sample_every);
+
+  namespace fs = std::filesystem;
+  fs::path root = fs::temp_directory_path() / ("p2pdb_bench_" + name);
+  fs::remove_all(root);
+  for (size_t n = 0; n < nodes; ++n) {
+    storage::StorageOptions sopts;
+    sopts.dir = (root / ("node" + std::to_string(n))).string();
+    auto manager = storage::StorageManager::Open(sopts);
+    if (!manager.ok()) return result;
+    if (!session.AttachStorage(static_cast<NodeId>(n), std::move(*manager))
+             .ok()) {
+      return result;
+    }
+  }
+
+  if (!session.RunDiscovery().ok()) return result;
+  auto start = Clock::now();
+  if (!session.RunUpdate().ok()) return result;
+  double update_ms = MsSince(start);
+
+  if (!obs_path.empty()) {
+    rt.stats().ExportTo(obs::Registry::Global(), "net.");
+    if (obs::WriteObsJson(obs_path, obs::Registry::Global(), &collector)) {
+      std::printf("observability dump written to %s\n", obs_path.c_str());
+    }
+  }
+  // The detailed-timing gate is process-global: close it again so later
+  // repeats of the untraced benches are not charged for clock reads.
+  if (sample_every > 0) session.EnableTracing(nullptr);
+  fs::remove_all(root);
+
+  result.metrics = {
+      {"wall_ms", update_ms},
+      {"update_ms", update_ms},
+      {"nodes", static_cast<double>(nodes)},
+      {"sample_every", static_cast<double>(sample_every)},
+      {"traces", static_cast<double>(collector.TraceIds().size())},
+      {"traced_spans", static_cast<double>(collector.TotalSpans())},
+      {"messages", static_cast<double>(rt.stats().total_messages())},
+      {"all_closed", session.AllClosed() ? 1.0 : 0.0},
+  };
+  return result;
+}
+
 BenchResult Best(BenchResult a, BenchResult b) {
   if (a.metrics.empty()) return b;
   if (b.metrics.empty()) return a;
@@ -288,11 +374,14 @@ bool WriteJson(const std::string& path,
 
 int Main(int argc, char** argv) {
   std::string out_path = "BENCH_tcp.json";
+  std::string obs_path;
   std::string filter;
   int repeat = 2;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
+      obs_path = argv[++i];
     } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
       repeat = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--filter") == 0 && i + 1 < argc) {
@@ -300,7 +389,7 @@ int Main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_tcp [--out FILE] [--repeat N] "
-                   "[--filter SUBSTR]\n");
+                   "[--filter SUBSTR] [--obs FILE]\n");
       return 2;
     }
   }
@@ -347,6 +436,25 @@ int Main(int argc, char** argv) {
        [&] {
          net::TcpRuntime rt;
          return SessionUpdateBench("update_tcp_tree8", &rt, nodes, records);
+       }},
+      // Trace-overhead trio: identical durable scenario, only the sampling
+      // rate differs. Compare update_ms across the three rows.
+      {"trace_off_tcp_tree8",
+       [&] {
+         return TracedUpdateBench("trace_off_tcp_tree8", nodes, records, 0,
+                                  "");
+       }},
+      {"trace_on_tcp_tree8",
+       [&] {
+         // The fully-traced run doubles as the obs.json source: its dump has
+         // every histogram (chase, WAL, queue wait) and the trace reports.
+         return TracedUpdateBench("trace_on_tcp_tree8", nodes, records, 1,
+                                  obs_path);
+       }},
+      {"trace_sampled4_tcp_tree8",
+       [&] {
+         return TracedUpdateBench("trace_sampled4_tcp_tree8", nodes, records,
+                                  4, "");
        }},
   };
 

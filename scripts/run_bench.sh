@@ -8,7 +8,9 @@
 # bench, can be run/emitted without the full update suite):
 #   main      end-to-end update suite (default; emits BENCH_p2pdb.json)
 #   recovery  WAL/checkpoint/crash-recovery suite (emits BENCH_recovery.json)
-#   tcp       frame codec + loopback socket runtime suite (emits BENCH_tcp.json)
+#   tcp       frame codec + loopback socket runtime suite (emits BENCH_tcp.json
+#             plus obs.json — the observability snapshot of the fully traced
+#             durable update: metrics registry + trace reports)
 # Extra args (e.g. --filter SUBSTR, --repeat N) are passed through.
 #
 # Env: P2PDB_BENCH_REPEAT (default 2), P2PDB_BENCH_FULL=1 for paper-scale
@@ -48,6 +50,11 @@ case "$BENCH" in
     ;;
 esac
 OUT="${OUT:-$DEFAULT_OUT}"
+
+# The tcp suite also dumps the observability snapshot next to its bench JSON.
+if [[ "$BENCH" == tcp ]]; then
+  ARGS+=(--obs "${OUT%.json}_obs.json")
+fi
 
 cmake --preset release
 cmake --build --preset release -j "$(nproc)" --target "$TARGET"

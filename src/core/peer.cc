@@ -51,10 +51,31 @@ Status Peer::AddInitialRule(const CoordinationRule& rule) {
 
 void Peer::StartDiscovery() { discovery_->Start(); }
 
-void Peer::StartUpdate(uint64_t session) { update_->StartSession(session); }
+void Peer::StartUpdate(uint64_t session) {
+  // Root of the propagation DAG: when this update is sampled, every message
+  // the session fans out inherits the trace id minted here, and this span
+  // (parent 0, hop 0) is where fixpoint latency is measured from.
+  if (collector_ != nullptr && !span_open_ && collector_->SampleRoot()) {
+    net::TraceContext root;
+    root.trace_id = collector_->NextTraceId();
+    OpenTraceSpan(root, net::MessageType::kUpdateStart, 0, 0);
+    update_->StartSession(session);
+    CloseTraceSpan();
+    return;
+  }
+  update_->StartSession(session);
+}
 
 void Peer::StartPartialUpdate(uint64_t session,
                               const std::set<std::string>& relations) {
+  if (collector_ != nullptr && !span_open_ && collector_->SampleRoot()) {
+    net::TraceContext root;
+    root.trace_id = collector_->NextTraceId();
+    OpenTraceSpan(root, net::MessageType::kUpdateStart, 0, 0);
+    update_->StartPartial(session, relations);
+    CloseTraceSpan();
+    return;
+  }
   update_->StartPartial(session, relations);
 }
 
@@ -73,7 +94,9 @@ Status Peer::AttachStorage(std::unique_ptr<storage::Storage> storage) {
 
 void Peer::OnDeltaApplied(const storage::DeltaMap& delta) {
   if (storage_ == nullptr) return;
+  uint64_t wal_start = span_open_ ? runtime_->NowMicros() : 0;
   Status logged = storage_->LogDelta(delta);
+  if (span_open_) RecordWalMicros(runtime_->NowMicros() - wal_start);
   if (!logged.ok()) {
     P2PDB_LOG(kError) << "WAL append failed at node " << id_ << ": "
                       << logged.ToString();
@@ -202,10 +225,49 @@ void Peer::Send(NodeId to, net::MessageType type,
   msg.from = id_;
   msg.to = to;
   msg.payload = std::move(payload);
+  if (span_open_) {
+    msg.trace.trace_id = active_span_.trace_id;
+    msg.trace.parent_span = active_span_.span_id;
+    msg.trace.hop = active_span_.hop + 1;
+    ++active_span_.forwards;
+  }
   runtime_->Send(std::move(msg));
 }
 
+void Peer::OpenTraceSpan(const net::TraceContext& ctx, net::MessageType type,
+                         uint64_t bytes, uint64_t queue_wait) {
+  active_span_ = obs::TraceSpan{};
+  active_span_.trace_id = ctx.trace_id;
+  active_span_.span_id = collector_->NextSpanId();
+  active_span_.parent_span = ctx.parent_span;
+  active_span_.hop = ctx.hop;
+  active_span_.node = id_;
+  active_span_.type = type;
+  active_span_.recv_micros = runtime_->NowMicros();
+  active_span_.queue_wait_micros = queue_wait;
+  active_span_.bytes = bytes;
+  span_open_ = true;
+}
+
+void Peer::CloseTraceSpan() {
+  active_span_.end_micros = runtime_->NowMicros();
+  span_open_ = false;
+  collector_->Record(active_span_);
+}
+
 void Peer::OnMessage(const net::Message& msg) {
+  // Span per traced dispatch: opened before the handler can forward (so
+  // children parent correctly), closed when the handler returns. Dispatch on
+  // one peer is serialized by every runtime, so plain members suffice.
+  const bool traced = collector_ != nullptr && msg.trace.active();
+  if (traced) {
+    OpenTraceSpan(msg.trace, msg.type, msg.WireSize(), msg.queued_micros);
+  }
+  DispatchMessage(msg);
+  if (traced) CloseTraceSpan();
+}
+
+void Peer::DispatchMessage(const net::Message& msg) {
   switch (msg.type) {
     case net::MessageType::kDiscoverRequest: {
       auto payload = wire::DiscoverRequest::Decode(msg.payload);

@@ -14,6 +14,7 @@
 #include "src/core/update.h"
 #include "src/core/wire.h"
 #include "src/net/runtime.h"
+#include "src/obs/trace.h"
 #include "src/relational/database.h"
 #include "src/storage/storage.h"
 
@@ -121,10 +122,39 @@ class Peer : public net::PeerHandler {
   /// Distinct dependency targets (body nodes) over current rules.
   std::set<NodeId> DependencyTargets() const;
 
-  /// Serializes and sends one protocol message.
+  /// Serializes and sends one protocol message. While a trace span is open
+  /// (a traced message is being handled), the outgoing message inherits its
+  /// trace id and names the span as causal parent.
   void Send(NodeId to, net::MessageType type, std::vector<uint8_t> payload);
 
+  // --- Causal tracing (optional; see src/obs/trace.h) ---
+
+  /// Attaches the collector spans are reported to; nullptr disables tracing.
+  void SetTraceCollector(obs::TraceCollector* collector) {
+    collector_ = collector;
+  }
+  obs::TraceCollector* trace_collector() const { return collector_; }
+
+  /// Charges time to the open span's chase / WAL buckets. Called by the
+  /// update engine and OnDeltaApplied; no-ops when no span is open. Safe as
+  /// plain members: the runtime serializes all dispatch on one peer.
+  void RecordChaseMicros(uint64_t micros) {
+    if (span_open_) active_span_.chase_micros += micros;
+  }
+  void RecordWalMicros(uint64_t micros) {
+    if (span_open_) active_span_.wal_micros += micros;
+  }
+  bool TraceSpanOpen() const { return span_open_; }
+
  private:
+  /// Opens the span `msg` (or a root update, for the synthetic root message)
+  /// is handled under; CloseTraceSpan() stamps the end time and records it.
+  void OpenTraceSpan(const net::TraceContext& ctx, net::MessageType type,
+                     uint64_t bytes, uint64_t queue_wait);
+  void CloseTraceSpan();
+
+  /// The former OnMessage body: decode and route to the engines.
+  void DispatchMessage(const net::Message& msg);
   NodeId id_;
   std::string name_;
   rel::Database db_;
@@ -136,6 +166,10 @@ class Peer : public net::PeerHandler {
   std::unique_ptr<storage::Storage> storage_;
   std::unique_ptr<DiscoveryEngine> discovery_;
   std::unique_ptr<UpdateEngine> update_;
+
+  obs::TraceCollector* collector_ = nullptr;
+  obs::TraceSpan active_span_;
+  bool span_open_ = false;
 };
 
 }  // namespace p2pdb::core

@@ -1,6 +1,7 @@
 #include "src/core/session.h"
 
 #include "src/core/dependency.h"
+#include "src/obs/metrics.h"
 #include "src/util/string_util.h"
 
 namespace p2pdb::core {
@@ -64,6 +65,21 @@ Status Session::RunPartialUpdate(NodeId at,
   runtime_->RunExclusive(
       at, [&] { peers_[at]->StartPartialUpdate(session, relations); });
   return runtime_->Run();
+}
+
+void Session::EnableTracing(obs::TraceCollector* collector,
+                            uint32_t sample_every_n) {
+  collector_ = collector;
+  if (collector != nullptr) collector->set_sample_every(sample_every_n);
+  // Queue-wait measurement costs a clock read per queued message; only worth
+  // paying while someone is collecting.
+  obs::SetDetailedTiming(collector != nullptr);
+  for (auto& peer : peers_) {
+    if (peer != nullptr) {
+      runtime_->RunExclusive(peer->id(),
+                             [&] { peer->SetTraceCollector(collector); });
+    }
+  }
 }
 
 void Session::ScheduleChange(const AtomicChange& change) {
@@ -150,6 +166,7 @@ Status Session::RestartPeer(NodeId id,
   }
   auto info = peer->Recover();
   if (!info.ok()) return info.status();
+  peer->SetTraceCollector(collector_);  // Tracing survives the restart.
   peer->Register();  // Open for business: recovered state is in place.
   // RegisterPeer cannot fail, but delivery can be impossible anyway (a
   // socket runtime that could not bind a listener): surface that here

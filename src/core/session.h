@@ -53,6 +53,13 @@ class Session {
   /// query-dependent mode).
   Status RunPartialUpdate(NodeId at, const std::set<std::string>& relations);
 
+  /// Turns on causal tracing: every live peer (and every later restart)
+  /// reports propagation spans to `collector`, with 1-in-`sample_every_n`
+  /// root updates traced. Also enables the per-message detailed-timing gate
+  /// (mailbox queue waits). nullptr turns tracing back off.
+  void EnableTracing(obs::TraceCollector* collector,
+                     uint32_t sample_every_n = 1);
+
   /// Schedules a dynamic change to be delivered at the given simulated time
   /// (the head node receives the addRule/deleteRule notification).
   void ScheduleChange(const AtomicChange& change);
@@ -136,6 +143,7 @@ class Session {
   std::vector<std::string> names_;
   std::vector<CoordinationRule> initial_rules_;
   uint64_t next_session_ = 1;
+  obs::TraceCollector* collector_ = nullptr;  // Re-attached on RestartPeer.
 };
 
 }  // namespace p2pdb::core

@@ -4,6 +4,7 @@
 
 #include "src/core/dependency.h"
 #include "src/core/peer.h"
+#include "src/obs/metrics.h"
 #include "src/relational/eval.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
@@ -197,6 +198,10 @@ bool UpdateEngine::JoinAndApply(RuleRuntime* rr, uint32_t delta_part,
                                 const std::set<rel::Tuple>& delta) {
   ++stats_.joins_evaluated;
   const CoordinationRule& rule = rr->rule;
+  // Chase apply time = semi-naive join + head application (WAL time is
+  // charged separately inside OnDeltaApplied). One clock pair per join is
+  // noise next to the join itself, so this is not gated.
+  const uint64_t chase_start = peer_->runtime()->NowMicros();
 
   // Semi-naive join: the delta part contributes only its new tuples, every
   // other part its full accumulated answers; one scratch relation per part,
@@ -239,6 +244,13 @@ bool UpdateEngine::JoinAndApply(RuleRuntime* rr, uint32_t delta_part,
   Status st = rel::ApplyRuleHeadAll(&peer_->db(), rule.head_atoms, *bindings,
                                     &peer_->nulls(), options_.chase,
                                     &chase_stats);
+  {
+    uint64_t micros = peer_->runtime()->NowMicros() - chase_start;
+    static obs::Histogram* chase =
+        obs::Registry::Global().GetHistogram("update.chase_apply_micros");
+    chase->Record(micros);
+    peer_->RecordChaseMicros(micros);
+  }
   // Even a failed application may have inserted tuples for earlier bindings;
   // they are in the database, so they must reach subscribers and the WAL.
   if (chase_stats.inserted > 0) {

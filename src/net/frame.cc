@@ -34,7 +34,11 @@ Result<FrameView> DecodeFrameBody(const uint8_t* data, size_t size) {
   auto from = r.GetVarint();
   auto to = r.GetVarint();
   auto seq = r.GetVarint();
-  if (!type.ok() || !from.ok() || !to.ok() || !seq.ok()) {
+  auto trace_id = r.GetVarint();
+  auto parent_span = r.GetVarint();
+  auto hop = r.GetVarint();
+  if (!type.ok() || !from.ok() || !to.ok() || !seq.ok() || !trace_id.ok() ||
+      !parent_span.ok() || !hop.ok()) {
     return Status::ParseError("truncated frame header");
   }
   if (!IsKnownMessageType(*type)) {
@@ -48,6 +52,9 @@ Result<FrameView> DecodeFrameBody(const uint8_t* data, size_t size) {
   view.from = static_cast<NodeId>(*from);
   view.to = static_cast<NodeId>(*to);
   view.seq = *seq;
+  view.trace.trace_id = *trace_id;
+  view.trace.parent_span = *parent_span;
+  view.trace.hop = static_cast<uint32_t>(*hop);
   view.payload = data + (size - r.remaining());
   view.payload_size = r.remaining();
   return view;
@@ -57,7 +64,9 @@ Result<FrameView> DecodeFrameBody(const uint8_t* data, size_t size) {
 
 size_t Message::WireSize() const {
   return kLengthBytes + kCrcBytes + 1 /* type */ + VarintLength(from) +
-         VarintLength(to) + VarintLength(seq) + payload.size();
+         VarintLength(to) + VarintLength(seq) + VarintLength(trace.trace_id) +
+         VarintLength(trace.parent_span) + VarintLength(trace.hop) +
+         payload.size();
 }
 
 Message FrameView::ToMessage() const {
@@ -72,6 +81,7 @@ Message FrameView::BorrowMessage() const {
   msg.from = from;
   msg.to = to;
   msg.seq = seq;
+  msg.trace = trace;
   msg.payload = Payload::Borrow(payload, payload_size);
   return msg;
 }
@@ -82,6 +92,9 @@ std::vector<uint8_t> EncodeFrame(const Message& msg) {
   header.PutVarint(msg.from);
   header.PutVarint(msg.to);
   header.PutVarint(msg.seq);
+  header.PutVarint(msg.trace.trace_id);
+  header.PutVarint(msg.trace.parent_span);
+  header.PutVarint(msg.trace.hop);
   const std::vector<uint8_t>& head = header.bytes();
 
   uint32_t crc = Crc32Finish(

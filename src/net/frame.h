@@ -8,6 +8,9 @@
 //   varint from  sender NodeId
 //   varint to    destination NodeId
 //   varint seq   runtime-assigned sequence number
+//   varint trace trace id (0 = untraced)
+//   varint pspan parent span id
+//   varint hop   causal hop count from the trace root
 //   payload      pre-serialized typed payload (core/wire.h)
 //
 // Like WAL records, a frame is either decoded whole or rejected: a CRC
@@ -45,6 +48,7 @@ struct FrameView {
   NodeId from = kNoNode;
   NodeId to = kNoNode;
   uint64_t seq = 0;
+  TraceContext trace;
   const uint8_t* payload = nullptr;
   size_t payload_size = 0;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
 namespace p2pdb::net {
@@ -75,6 +76,9 @@ void MailboxRuntime::Deliver(Message msg) {
       return;
     }
     in_flight_.fetch_add(1);
+    if (obs::DetailedTimingEnabled() || msg.trace.active()) {
+      msg.queued_micros = NowMicros();  // PeerLoop turns this into a wait.
+    }
     box->queue.push_back(std::move(msg));
   }
   box->cv.notify_one();
@@ -107,6 +111,9 @@ void MailboxRuntime::DispatchFromTransport(Message&& msg) {
       // borrowed payload must become owned before it is queued.
       in_flight_.fetch_add(1);
       msg.payload.EnsureOwned();
+      if (obs::DetailedTimingEnabled() || msg.trace.active()) {
+        msg.queued_micros = NowMicros();
+      }
       box->queue.push_back(std::move(msg));
       stats_.io().queued_dispatches.fetch_add(1);
       box->cv.notify_one();
@@ -117,6 +124,14 @@ void MailboxRuntime::DispatchFromTransport(Message&& msg) {
     in_flight_.fetch_add(1);
   }
   stats_.io().inline_dispatches.fetch_add(1);
+  if (obs::DetailedTimingEnabled() || msg.trace.active()) {
+    // Inline dispatch skipped the queue entirely: record the zero wait so
+    // the wait distribution covers every delivered message, not just the
+    // queued slow path.
+    static obs::Histogram* wait =
+        obs::Registry::Global().GetHistogram("net.mailbox_wait_micros");
+    wait->Record(0);
+  }
   if (tracer_) tracer_(NowMicros(), msg);
   handler->OnMessage(msg);
   {
@@ -184,6 +199,16 @@ void MailboxRuntime::PeerLoop(Mailbox* box) {
       handler = box->handler;
       box->busy = true;
     }
+    if (msg.queued_micros != 0) {
+      // Rewrite the enqueue stamp into the measured wait, so the handler's
+      // trace span sees its mailbox residency directly.
+      uint64_t now = NowMicros();
+      msg.queued_micros = now >= msg.queued_micros ? now - msg.queued_micros
+                                                   : 0;
+      static obs::Histogram* wait =
+          obs::Registry::Global().GetHistogram("net.mailbox_wait_micros");
+      wait->Record(msg.queued_micros);
+    }
     if (handler != nullptr) {
       if (tracer_) tracer_(NowMicros(), msg);
       handler->OnMessage(msg);
@@ -224,6 +249,34 @@ void MailboxRuntime::TimerLoop() {
   }
 }
 
+std::string MailboxRuntime::PendingWorkReport() const {
+  std::string report;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, box] : mailboxes_) {
+      size_t queued;
+      bool busy;
+      {
+        std::lock_guard<std::mutex> box_lock(box->mutex);
+        queued = box->queue.size();
+        busy = box->busy;
+      }
+      if (queued == 0 && !busy) continue;
+      report += "  peer " + std::to_string(id) + ": " +
+                std::to_string(queued) + " queued" +
+                (busy ? ", handler running" : "") + "\n";
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(timer_mutex_);
+    if (!timer_queue_.empty()) {
+      report +=
+          "  " + std::to_string(timer_queue_.size()) + " pending timers\n";
+    }
+  }
+  return report;
+}
+
 void MailboxRuntime::EnsureStarted() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -250,9 +303,13 @@ Status MailboxRuntime::Run() {
   for (;;) {
     auto now = std::chrono::steady_clock::now();
     if (now > deadline) {
+      std::string pending = PendingWorkReport();
+      P2PDB_LOG(kWarn) << "quiescence not reached by deadline; pending work:\n"
+                       << (pending.empty() ? "  (untracked in-flight holds)\n"
+                                           : pending);
       return Status::Internal(
           "MailboxRuntime: quiescence not reached in time (in flight: " +
-          std::to_string(in_flight_.load()) + ")");
+          std::to_string(in_flight_.load()) + ")\n" + pending);
     }
     if (in_flight_.load() == 0) {
       if (!was_zero) {
@@ -277,6 +334,13 @@ Status MailboxRuntime::RunUntil(uint64_t time_micros) {
     uint64_t remaining = time_micros - NowMicros();
     std::this_thread::sleep_for(
         std::chrono::microseconds(std::min<uint64_t>(remaining, 1'000)));
+  }
+  if (uint64_t holds = in_flight_.load(); holds != 0) {
+    // Expected under churn (that is what RunUntil is for), but say what is
+    // still moving so a stuck fixpoint is debuggable from the log alone.
+    P2PDB_LOG(kDebug) << "RunUntil deadline with " << holds
+                      << " in-flight holds; pending work:\n"
+                      << PendingWorkReport();
   }
   return Status::OK();
 }

@@ -95,6 +95,13 @@ class MailboxRuntime : public Runtime {
   virtual void StartIo() {}
   virtual void StopIo() {}
 
+  /// One line per unit of outstanding work: per-peer queue depths and busy
+  /// handlers, pending timers, and (via subclass overrides) transport-level
+  /// residency like unsent socket bytes. Logged when Run() gives up on the
+  /// deadline or RunUntil() hands back a non-quiescent network, so a hung
+  /// fixpoint names its culprit instead of timing out silently.
+  virtual std::string PendingWorkReport() const;
+
  private:
   struct Mailbox {
     std::mutex mutex;
@@ -114,7 +121,7 @@ class MailboxRuntime : public Runtime {
   std::thread timer_thread_;
 
   // Timer queue for ScheduleSend (delayed injections).
-  std::mutex timer_mutex_;
+  mutable std::mutex timer_mutex_;
   std::condition_variable timer_cv_;
   std::vector<std::pair<uint64_t, Message>> timer_queue_;
 

@@ -122,6 +122,20 @@ class Payload {
   size_t view_size_ = 0;
 };
 
+/// Causal trace context carried by every message (and its frame encoding).
+/// trace_id 0 means "not traced" — the zero-cost default. A traced message
+/// names the propagation span that sent it (parent_span) and its causal
+/// depth from the root (hop), so a collector can reassemble the propagation
+/// DAG of one update across peers, runtimes, and — since it is on the wire —
+/// eventually processes. See src/obs/trace.h.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+  uint32_t hop = 0;
+
+  bool active() const { return trace_id != 0; }
+};
+
 /// One message in flight.
 struct Message {
   MessageType type = MessageType::kDiscoverRequest;
@@ -130,6 +144,12 @@ struct Message {
   Payload payload;
   /// Sequence number assigned by the runtime at send time (debug/tracing).
   uint64_t seq = 0;
+  /// Causal update tracing (on the wire, after seq).
+  TraceContext trace;
+  /// Local bookkeeping, never serialized: stamped with NowMicros() when the
+  /// message enters a mailbox queue, rewritten to the measured queue wait
+  /// just before dispatch (see MailboxRuntime). Zero on the inline path.
+  uint64_t queued_micros = 0;
 
   /// Exact size of this message's frame encoding (see net/frame.h): what a
   /// socket carries and what the statistics module counts as bytes on a pipe.

@@ -14,6 +14,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
 namespace p2pdb::net {
@@ -77,6 +78,10 @@ bool Connection::Enqueue(std::vector<uint8_t>&& frame) {
     if (IoCounters* k = reactor->options_.counters) {
       k->RecordQueueDepth(sendq_bytes_);
     }
+    // Distribution, not just high-water mark: no clock read, so ungated.
+    static obs::Histogram* depth =
+        obs::Registry::Global().GetHistogram("net.sendq_depth_bytes");
+    depth->Record(sendq_bytes_);
     if (flush_armed_) return true;  // The worker already knows.
     flush_armed_ = true;
   }

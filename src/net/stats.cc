@@ -1,5 +1,6 @@
 #include "src/net/stats.h"
 
+#include "src/obs/metrics.h"
 #include "src/util/string_util.h"
 
 namespace p2pdb::net {
@@ -95,6 +96,36 @@ uint64_t NetStats::BytesOfType(MessageType type) const {
 std::map<std::pair<NodeId, NodeId>, PipeStats> NetStats::PerPipe() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return per_pipe_;
+}
+
+void NetStats::ExportTo(obs::Registry& registry,
+                        const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  registry.GetCounter(prefix + "messages")->Add(total_messages_);
+  registry.GetCounter(prefix + "bytes")->Add(total_bytes_);
+  for (const auto& [type, stats] : per_type_) {
+    std::string type_prefix = prefix + "type." + MessageTypeName(type) + ".";
+    registry.GetCounter(type_prefix + "messages")->Add(stats.messages);
+    registry.GetCounter(type_prefix + "bytes")->Add(stats.bytes);
+  }
+  registry.GetCounter(prefix + "io.epoll_wakeups")->Add(io_.epoll_wakeups);
+  registry.GetCounter(prefix + "io.writev_calls")->Add(io_.writev_calls);
+  registry.GetCounter(prefix + "io.writev_frames")->Add(io_.writev_frames);
+  registry.GetCounter(prefix + "io.writev_bytes")->Add(io_.writev_bytes);
+  registry.GetCounter(prefix + "io.accepts")->Add(io_.accepts);
+  registry.GetCounter(prefix + "io.connects")->Add(io_.connects);
+  registry.GetCounter(prefix + "io.connect_failures")
+      ->Add(io_.connect_failures);
+  uint64_t inline_d = io_.inline_dispatches.load();
+  uint64_t queued_d = io_.queued_dispatches.load();
+  registry.GetCounter(prefix + "io.inline_dispatches")->Add(inline_d);
+  registry.GetCounter(prefix + "io.queued_dispatches")->Add(queued_d);
+  if (inline_d + queued_d > 0) {
+    registry.GetGauge(prefix + "io.inline_dispatch_ratio_x1000")
+        ->Set(static_cast<int64_t>(inline_d * 1000 / (inline_d + queued_d)));
+  }
+  registry.GetGauge(prefix + "io.send_queue_hwm_bytes")
+      ->RaiseTo(static_cast<int64_t>(io_.send_queue_hwm_bytes.load()));
 }
 
 std::string NetStats::Report() const {

@@ -11,6 +11,10 @@
 
 #include "src/net/message.h"
 
+namespace p2pdb::obs {
+class Registry;
+}  // namespace p2pdb::obs
+
 namespace p2pdb::net {
 
 struct PipeStats {
@@ -66,6 +70,13 @@ class NetStats {
   /// only socket-backed runtimes populate them.
   IoCounters& io() { return io_; }
   const IoCounters& io() const { return io_; }
+
+  /// Folds every counter into `registry` under `prefix` (e.g. "net."):
+  /// message/byte totals and per-type counts as counters, io() values as
+  /// counters, the inline-dispatch ratio (x1000) and queue HWM as gauges.
+  /// Registry counters are monotone, so export once per experiment (obs.json
+  /// dumps), not periodically.
+  void ExportTo(obs::Registry& registry, const std::string& prefix) const;
 
  private:
   mutable std::mutex mutex_;

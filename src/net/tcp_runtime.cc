@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
@@ -82,6 +83,11 @@ std::shared_ptr<Connection> TcpRuntime::OutboundFor(NodeId to) {
     // Reconnect-on-send: the cached connection may point at a dead (crashed
     // or pre-restart) incarnation of the peer; a fresh connect gives the
     // current endpoint table row a chance.
+    if (slot != nullptr) {
+      static obs::Counter* reconnects =
+          obs::Registry::Global().GetCounter("net.reconnects");
+      reconnects->Increment();
+    }
     slot = reactor_->Connect(it->second.host, it->second.port, to);
   }
   return slot;
@@ -216,6 +222,20 @@ void TcpRuntime::OnClose(Connection* conn, size_t dropped_frames) {
     P2PDB_LOG(kWarn) << "kernel refused delivery of " << dropped_frames
                      << " frame(s) to node " << conn->token();
   }
+}
+
+std::string TcpRuntime::PendingWorkReport() const {
+  std::string report = MailboxRuntime::PendingWorkReport();
+  std::lock_guard<std::mutex> lock(net_mutex_);
+  for (const auto& [to, conn] : outbound_) {
+    if (conn == nullptr) continue;
+    size_t queued = conn->queued_bytes();
+    if (queued == 0) continue;
+    report += "  -> node " + std::to_string(to) + ": " +
+              std::to_string(queued) + " unsent bytes" +
+              (conn->closed() ? " (connection closed)" : "") + "\n";
+  }
+  return report;
 }
 
 void TcpRuntime::StopIo() { reactor_->Stop(); }

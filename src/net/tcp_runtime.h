@@ -100,6 +100,10 @@ class TcpRuntime : public MailboxRuntime, private Reactor::Handler {
  protected:
   void StopIo() override;
 
+  /// Adds transport residency to the mailbox report: unsent bytes sitting in
+  /// per-destination send queues and partially reassembled inbound frames.
+  std::string PendingWorkReport() const override;
+
  private:
   /// Per-connection frame reassembly, hung off Connection::user_data and
   /// touched only by the connection's owning reactor worker. While the

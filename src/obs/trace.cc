@@ -1,0 +1,296 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "src/obs/metrics.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace p2pdb::obs {
+
+namespace {
+
+/// Spans indexed by id, children grouped by parent and sorted by arrival —
+/// the shape both Analyze and RenderTree walk.
+struct TraceIndex {
+  std::unordered_map<uint64_t, const TraceSpan*> by_id;
+  std::unordered_map<uint64_t, std::vector<const TraceSpan*>> children;
+  const TraceSpan* root = nullptr;
+
+  explicit TraceIndex(const std::vector<TraceSpan>& spans) {
+    for (const TraceSpan& span : spans) {
+      by_id[span.span_id] = &span;
+      children[span.parent_span].push_back(&span);
+      if (span.parent_span == 0 &&
+          (root == nullptr || span.recv_micros < root->recv_micros)) {
+        root = &span;
+      }
+    }
+    for (auto& [parent, kids] : children) {
+      (void)parent;
+      std::sort(kids.begin(), kids.end(),
+                [](const TraceSpan* a, const TraceSpan* b) {
+                  return a->recv_micros != b->recv_micros
+                             ? a->recv_micros < b->recv_micros
+                             : a->span_id < b->span_id;
+                });
+    }
+  }
+};
+
+std::string SpanLine(const TraceSpan& span, uint64_t root_recv) {
+  uint64_t rel = span.recv_micros >= root_recv ? span.recv_micros - root_recv
+                                               : 0;
+  std::string line = StrFormat(
+      "node %u %s  +%lluus dur=%lluus", span.node,
+      net::MessageTypeName(span.type), static_cast<unsigned long long>(rel),
+      static_cast<unsigned long long>(span.DurationMicros()));
+  if (span.queue_wait_micros != 0) {
+    line += StrFormat(" queue=%lluus",
+                      static_cast<unsigned long long>(span.queue_wait_micros));
+  }
+  if (span.chase_micros != 0) {
+    line += StrFormat(" chase=%lluus",
+                      static_cast<unsigned long long>(span.chase_micros));
+  }
+  if (span.wal_micros != 0) {
+    line += StrFormat(" wal=%lluus",
+                      static_cast<unsigned long long>(span.wal_micros));
+  }
+  line += StrFormat(" bytes=%llu", static_cast<unsigned long long>(span.bytes));
+  if (span.forwards != 0) line += StrFormat(" ->%u", span.forwards);
+  return line;
+}
+
+void RenderSubtree(const TraceIndex& index, const TraceSpan& span,
+                   uint64_t root_recv, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += SpanLine(span, root_recv);
+  *out += '\n';
+  auto it = index.children.find(span.span_id);
+  if (it == index.children.end()) return;
+  for (const TraceSpan* child : it->second) {
+    RenderSubtree(index, *child, root_recv, depth + 1, out);
+  }
+}
+
+std::string SpanJson(const TraceSpan& span) {
+  return StrFormat(
+      "{\"span\": %llu, \"parent\": %llu, \"hop\": %u, \"node\": %u, "
+      "\"type\": \"%s\", \"recv_micros\": %llu, \"dur_micros\": %llu, "
+      "\"queue_micros\": %llu, \"chase_micros\": %llu, \"wal_micros\": %llu, "
+      "\"bytes\": %llu, \"forwards\": %u}",
+      static_cast<unsigned long long>(span.span_id),
+      static_cast<unsigned long long>(span.parent_span), span.hop, span.node,
+      net::MessageTypeName(span.type),
+      static_cast<unsigned long long>(span.recv_micros),
+      static_cast<unsigned long long>(span.DurationMicros()),
+      static_cast<unsigned long long>(span.queue_wait_micros),
+      static_cast<unsigned long long>(span.chase_micros),
+      static_cast<unsigned long long>(span.wal_micros),
+      static_cast<unsigned long long>(span.bytes), span.forwards);
+}
+
+}  // namespace
+
+bool TraceCollector::SampleRoot() {
+  uint32_t every = sample_every_.load(std::memory_order_relaxed);
+  if (every == 0) return false;
+  return root_counter_.fetch_add(1, std::memory_order_relaxed) % every == 0;
+}
+
+void TraceCollector::Record(const TraceSpan& span) {
+  if (span.trace_id == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (total_spans_ >= kMaxSpans) return;  // Cap: drop, never grow unbounded.
+  traces_[span.trace_id].push_back(span);
+  ++total_spans_;
+}
+
+std::vector<uint64_t> TraceCollector::TraceIds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<uint64_t> ids;
+  ids.reserve(traces_.size());
+  for (const auto& [id, spans] : traces_) {
+    (void)spans;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<TraceSpan> TraceCollector::Spans(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = traces_.find(trace_id);
+  return it == traces_.end() ? std::vector<TraceSpan>{} : it->second;
+}
+
+uint64_t TraceCollector::TotalSpans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_spans_;
+}
+
+TraceReport TraceCollector::Analyze(uint64_t trace_id) const {
+  std::vector<TraceSpan> spans = Spans(trace_id);
+  TraceReport report;
+  report.trace_id = trace_id;
+  report.span_count = spans.size();
+  if (spans.empty()) return report;
+
+  TraceIndex index(spans);
+  uint64_t root_recv =
+      index.root != nullptr ? index.root->recv_micros : spans[0].recv_micros;
+
+  const TraceSpan* last = &spans[0];
+  std::map<uint32_t, TraceReport::HopStat> hops;
+  for (const TraceSpan& span : spans) {
+    report.total_bytes += span.bytes;
+    report.max_hop = std::max(report.max_hop, span.hop);
+    if (span.end_micros > last->end_micros) last = &span;
+    TraceReport::HopStat& h = hops[span.hop];
+    h.hop = span.hop;
+    ++h.spans;
+    h.bytes += span.bytes;
+    h.queue_wait_micros += span.queue_wait_micros;
+    h.chase_micros += span.chase_micros;
+    h.wal_micros += span.wal_micros;
+    h.busy_micros += span.DurationMicros();
+  }
+  report.fixpoint_micros =
+      last->end_micros >= root_recv ? last->end_micros - root_recv : 0;
+  for (const auto& [hop, stat] : hops) {
+    (void)hop;
+    report.per_hop.push_back(stat);
+  }
+
+  // Critical path: parent links from the last-finishing span back to the
+  // root. A missing parent (span dropped at the cap) truncates the walk.
+  std::vector<const TraceSpan*> chain;
+  for (const TraceSpan* cur = last; cur != nullptr;) {
+    chain.push_back(cur);
+    if (cur->parent_span == 0) break;
+    auto it = index.by_id.find(cur->parent_span);
+    cur = it == index.by_id.end() ? nullptr : it->second;
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    report.critical_path.push_back(**it);
+  }
+  return report;
+}
+
+std::string TraceCollector::RenderTree(uint64_t trace_id) const {
+  std::vector<TraceSpan> spans = Spans(trace_id);
+  if (spans.empty()) {
+    return StrFormat("trace %llu: no spans\n",
+                     static_cast<unsigned long long>(trace_id));
+  }
+  TraceIndex index(spans);
+  TraceReport report = Analyze(trace_id);
+  std::string out = StrFormat(
+      "trace %llu: %llu spans, %u hops, %llu bytes, fixpoint %lluus\n",
+      static_cast<unsigned long long>(trace_id),
+      static_cast<unsigned long long>(report.span_count), report.max_hop,
+      static_cast<unsigned long long>(report.total_bytes),
+      static_cast<unsigned long long>(report.fixpoint_micros));
+  if (index.root == nullptr) {
+    // No root span (dropped at the cap, or a foreign trace id): flat dump.
+    for (const TraceSpan& span : spans) {
+      out += "  " + SpanLine(span, spans[0].recv_micros) + '\n';
+    }
+    return out;
+  }
+  uint64_t root_recv = index.root->recv_micros;
+  for (const TraceSpan* root : index.children.at(0)) {
+    RenderSubtree(index, *root, root_recv, 1, &out);
+  }
+  out += "critical path:";
+  for (const TraceSpan& span : report.critical_path) {
+    out += StrFormat(" node%u@%lluus", span.node,
+                     static_cast<unsigned long long>(
+                         span.end_micros >= root_recv
+                             ? span.end_micros - root_recv
+                             : 0));
+  }
+  out += '\n';
+  return out;
+}
+
+std::string TraceCollector::ReportJson() const {
+  std::string out = "[";
+  bool first_trace = true;
+  for (uint64_t id : TraceIds()) {
+    TraceReport report = Analyze(id);
+    out += first_trace ? "\n" : ",\n";
+    first_trace = false;
+    out += StrFormat(
+        "    {\"trace_id\": %llu, \"spans\": %llu, \"max_hop\": %u, "
+        "\"total_bytes\": %llu, \"fixpoint_micros\": %llu,\n     \"per_hop\": "
+        "[",
+        static_cast<unsigned long long>(report.trace_id),
+        static_cast<unsigned long long>(report.span_count), report.max_hop,
+        static_cast<unsigned long long>(report.total_bytes),
+        static_cast<unsigned long long>(report.fixpoint_micros));
+    bool first = true;
+    for (const TraceReport::HopStat& h : report.per_hop) {
+      out += StrFormat(
+          "%s{\"hop\": %u, \"spans\": %llu, \"bytes\": %llu, "
+          "\"queue_micros\": %llu, \"chase_micros\": %llu, \"wal_micros\": "
+          "%llu, \"busy_micros\": %llu}",
+          first ? "" : ", ", h.hop, static_cast<unsigned long long>(h.spans),
+          static_cast<unsigned long long>(h.bytes),
+          static_cast<unsigned long long>(h.queue_wait_micros),
+          static_cast<unsigned long long>(h.chase_micros),
+          static_cast<unsigned long long>(h.wal_micros),
+          static_cast<unsigned long long>(h.busy_micros));
+      first = false;
+    }
+    out += "],\n     \"critical_path\": [";
+    first = true;
+    for (const TraceSpan& span : report.critical_path) {
+      out += (first ? "" : ", ") + SpanJson(span);
+      first = false;
+    }
+    out += "]}";
+  }
+  out += first_trace ? "]" : "\n  ]";
+  return out;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  traces_.clear();
+  total_spans_ = 0;
+}
+
+bool WriteObsJson(const std::string& path, Registry& registry,
+                  const TraceCollector* collector) {
+  std::string metrics = registry.ReportJson();
+  // Indent the registry object two spaces so the combined file stays legible.
+  std::string body = "{\n  \"metrics\": ";
+  for (char c : metrics) {
+    body += c;
+    if (c == '\n') body += "  ";
+  }
+  while (!body.empty() && (body.back() == ' ' || body.back() == '\n')) {
+    body.pop_back();
+  }
+  body += ",\n  \"traces\": ";
+  body += collector != nullptr ? collector->ReportJson() : "[]";
+  body += "\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    P2PDB_LOG(kWarn) << "obs: cannot write " << path;
+    return false;
+  }
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    P2PDB_LOG(kWarn) << "obs: short write to " << path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace p2pdb::obs

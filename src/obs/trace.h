@@ -1,0 +1,133 @@
+// Causal propagation tracing: reconstructs the DAG one update carves through
+// the network. Every traced message carries a net::TraceContext (trace id,
+// parent span, hop); each peer that handles one opens a TraceSpan covering
+// receive -> chase -> WAL commit -> forward, stamps outgoing messages with
+// its own span id, and reports the finished span to a TraceCollector. The
+// collector can then answer the questions NetStats cannot: how long from the
+// root update to the fixpoint, which causal chain was the critical path, and
+// where inside each hop the time went (queue wait vs chase vs WAL).
+//
+// Tracing is off unless a Session enables it; untraced messages carry
+// trace_id 0 and every instrumentation site short-circuits on that. Sampling
+// (1 in N root updates) keeps the cost bounded under load — see
+// TraceCollector::SampleRoot.
+#ifndef P2PDB_OBS_TRACE_H_
+#define P2PDB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/net/message.h"
+#include "src/util/ids.h"
+
+namespace p2pdb::obs {
+
+/// One peer's handling of one traced message: the unit the propagation DAG
+/// is built from. Span ids are collector-unique; parent_span names the span
+/// that sent the message (0 for the root update injection).
+struct TraceSpan {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span = 0;
+  uint32_t hop = 0;
+  NodeId node = kNoNode;
+  net::MessageType type = net::MessageType::kUpdateStart;
+
+  uint64_t recv_micros = 0;        // Runtime clock at dispatch.
+  uint64_t end_micros = 0;         // Runtime clock when the handler returned.
+  uint64_t queue_wait_micros = 0;  // Mailbox residency before dispatch.
+  uint64_t chase_micros = 0;       // Time inside the chase (rule application).
+  uint64_t wal_micros = 0;         // Time persisting deltas (WAL append+sync).
+  uint64_t bytes = 0;              // Wire size of the message that opened it.
+  uint32_t forwards = 0;           // Messages this span sent onward.
+
+  uint64_t DurationMicros() const {
+    return end_micros >= recv_micros ? end_micros - recv_micros : 0;
+  }
+};
+
+/// Aggregate view of one trace, computed by TraceCollector::Analyze.
+struct TraceReport {
+  struct HopStat {
+    uint32_t hop = 0;
+    uint64_t spans = 0;
+    uint64_t bytes = 0;
+    uint64_t queue_wait_micros = 0;
+    uint64_t chase_micros = 0;
+    uint64_t wal_micros = 0;
+    uint64_t busy_micros = 0;  // Sum of span durations at this hop.
+  };
+
+  uint64_t trace_id = 0;
+  uint64_t span_count = 0;
+  uint64_t total_bytes = 0;
+  uint32_t max_hop = 0;
+  /// Root receive to the latest span end: the traced fixpoint latency.
+  uint64_t fixpoint_micros = 0;
+  /// Causal chain from the root to the last-finishing span (root first).
+  std::vector<TraceSpan> critical_path;
+  std::vector<HopStat> per_hop;
+};
+
+/// Thread-safe sink and analyzer for trace spans. One collector serves a
+/// whole session (all peers, any runtime); Record is a mutex push, cheap at
+/// trace volumes (spans per update ~= messages per update, and only sampled
+/// updates are traced at all).
+class TraceCollector {
+ public:
+  /// Allocates the ids a root update span needs. trace ids and span ids are
+  /// collector-unique and never 0.
+  uint64_t NextTraceId() { return next_trace_id_.fetch_add(1) + 1; }
+  uint64_t NextSpanId() { return next_span_id_.fetch_add(1) + 1; }
+
+  /// 1-in-N root sampling: returns true when the next root update should be
+  /// traced. N = 1 (the default) traces everything; N = 0 disables tracing.
+  void set_sample_every(uint32_t n) { sample_every_ = n; }
+  bool SampleRoot();
+
+  void Record(const TraceSpan& span);
+
+  /// Ids of every trace with at least one recorded span, oldest first.
+  std::vector<uint64_t> TraceIds() const;
+  std::vector<TraceSpan> Spans(uint64_t trace_id) const;
+  uint64_t TotalSpans() const;
+
+  TraceReport Analyze(uint64_t trace_id) const;
+
+  /// Human-readable propagation tree with per-span timing, children ordered
+  /// by receive time. The trace_dump example prints exactly this.
+  std::string RenderTree(uint64_t trace_id) const;
+
+  /// JSON array of per-trace reports: [{"trace_id":..., "spans":...,
+  /// "fixpoint_micros":..., "per_hop":[...], "critical_path":[...]}, ...].
+  std::string ReportJson() const;
+
+  void Clear();
+
+ private:
+  static constexpr size_t kMaxSpans = 1u << 20;  // Hard cap: ~1M spans.
+
+  mutable std::mutex mutex_;
+  std::map<uint64_t, std::vector<TraceSpan>> traces_;
+  size_t total_spans_ = 0;
+  std::atomic<uint64_t> next_trace_id_{0};
+  std::atomic<uint64_t> next_span_id_{0};
+  std::atomic<uint64_t> root_counter_{0};
+  std::atomic<uint32_t> sample_every_{1};
+};
+
+class Registry;
+
+/// Writes the combined observability dump consumed by scripts/run_bench.sh:
+/// {"metrics": <Registry::ReportJson()>, "traces": <collector json or []>}.
+/// Returns false (and logs) if the file cannot be written.
+bool WriteObsJson(const std::string& path, Registry& registry,
+                  const TraceCollector* collector);
+
+}  // namespace p2pdb::obs
+
+#endif  // P2PDB_OBS_TRACE_H_

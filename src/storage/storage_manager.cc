@@ -1,8 +1,10 @@
 #include "src/storage/storage_manager.h"
 
+#include <chrono>
 #include <filesystem>
 #include <optional>
 
+#include "src/obs/metrics.h"
 #include "src/relational/codec.h"
 #include "src/storage/checkpoint.h"
 #include "src/util/serde.h"
@@ -122,7 +124,14 @@ Status StorageManager::MaybeCheckpoint(const rel::Database& db) {
 }
 
 Status StorageManager::Checkpoint(const rel::Database& db) {
+  auto start = std::chrono::steady_clock::now();
   P2PDB_RETURN_IF_ERROR(SaveCheckpoint(db, options_.dir));
+  static obs::Histogram* duration =
+      obs::Registry::Global().GetHistogram("storage.checkpoint_micros");
+  duration->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
   ++checkpoints_taken_;
   // The snapshot holds only the database; the rule-change history rides into
   // the fresh log atomically with the truncation (Reset publishes by rename,

@@ -4,13 +4,22 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include "src/obs/metrics.h"
 #include "src/util/serde.h"
 
 namespace p2pdb::storage {
 
 namespace {
+
+uint64_t MonotonicMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 constexpr uint32_t kWalMagic = 0x4c573250;  // "P2WL" little-endian.
 constexpr uint32_t kWalVersion = 1;
@@ -143,6 +152,16 @@ WalWriter::~WalWriter() {
 
 Status WalWriter::Append(const std::vector<uint8_t>& payload) {
   if (file_ == nullptr) return Status::Internal(path_ + " is not open");
+  // Appends are already buffered writes plus an occasional fsync; a clock
+  // pair per record is cheap relative to the fflush below, so not gated.
+  struct AppendTimer {
+    uint64_t start = MonotonicMicros();
+    ~AppendTimer() {
+      static obs::Histogram* h =
+          obs::Registry::Global().GetHistogram("wal.append_micros");
+      h->Record(MonotonicMicros() - start);
+    }
+  } timer;
   Writer header;
   header.PutU32(static_cast<uint32_t>(payload.size()));
   header.PutU32(Crc32(payload));
@@ -185,7 +204,12 @@ Status WalWriter::Sync() {
 Status WalWriter::SyncNow() {
   pending_appends_ = 0;
   ++syncs_performed_;
-  return FsyncFile(file_, path_);
+  uint64_t start = MonotonicMicros();
+  Status synced = FsyncFile(file_, path_);
+  static obs::Histogram* h =
+      obs::Registry::Global().GetHistogram("wal.fsync_micros");
+  h->Record(MonotonicMicros() - start);
+  return synced;
 }
 
 Status WalWriter::Reset(const std::vector<std::vector<uint8_t>>& retained) {

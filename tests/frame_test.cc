@@ -23,7 +23,9 @@ Message Make(MessageType type, NodeId from, NodeId to, uint64_t seq,
 
 bool SameMessage(const Message& a, const Message& b) {
   return a.type == b.type && a.from == b.from && a.to == b.to &&
-         a.seq == b.seq && a.payload == b.payload;
+         a.seq == b.seq && a.trace.trace_id == b.trace.trace_id &&
+         a.trace.parent_span == b.trace.parent_span &&
+         a.trace.hop == b.trace.hop && a.payload == b.payload;
 }
 
 TEST(FrameTest, RoundTripsAllFieldShapes) {
@@ -49,9 +51,32 @@ TEST(FrameTest, WireSizeIsExactEncodedSize) {
   // the varint widths of from/to/seq.
   Message small = Make(MessageType::kUpdateStart, 0, 1, 0, {1, 2, 3});
   EXPECT_EQ(small.WireSize(), EncodeFrame(small).size());
-  EXPECT_EQ(small.WireSize(), 15u);  // 4 len + 4 crc + 1 type + 3x1 + 3.
+  // 4 len + 4 crc + 1 type + 3x1 header varints + 3x1 trace varints + 3.
+  EXPECT_EQ(small.WireSize(), 18u);
   Message wide = Make(MessageType::kUpdateStart, kNoNode, kNoNode, ~0ull, {});
   EXPECT_EQ(wide.WireSize(), EncodeFrame(wide).size());
+}
+
+TEST(FrameTest, TraceContextRoundTrips) {
+  Message msg = Make(MessageType::kPartialUpdate, 2, 7, 99, {1, 2});
+  msg.trace.trace_id = 0xdead'beef'cafe'f00dull;
+  msg.trace.parent_span = 0x1234'5678'9abcull;
+  msg.trace.hop = 5;
+  std::vector<uint8_t> frame = EncodeFrame(msg);
+  EXPECT_EQ(frame.size(), msg.WireSize());
+  auto decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(SameMessage(*decoded, msg));
+  EXPECT_TRUE(decoded->trace.active());
+
+  // The untraced default costs exactly three zero varint bytes and decodes
+  // inactive; a wide trace context pays for its varints and nothing else.
+  Message plain = Make(MessageType::kPartialUpdate, 2, 7, 99, {1, 2});
+  EXPECT_LT(plain.WireSize(), msg.WireSize());
+  EXPECT_EQ(plain.WireSize(), EncodeFrame(plain).size());
+  auto plain_decoded = DecodeFrame(EncodeFrame(plain));
+  ASSERT_TRUE(plain_decoded.ok());
+  EXPECT_FALSE(plain_decoded->trace.active());
 }
 
 TEST(FrameTest, TruncatedFramesAreRejected) {
