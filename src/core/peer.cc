@@ -3,6 +3,7 @@
 #include <map>
 
 #include "src/core/dependency.h"
+#include "src/core/query.h"
 #include "src/relational/eval.h"
 #include "src/util/logging.h"
 
@@ -26,6 +27,10 @@ Peer::Peer(NodeId id, std::string name, rel::Database db,
       config_(config) {
   discovery_ = std::make_unique<DiscoveryEngine>(this);
   update_ = std::make_unique<UpdateEngine>(this, config_.update);
+  snapshots_ = config_.snapshots != nullptr
+                   ? config_.snapshots
+                   : std::make_shared<rel::SnapshotStore>();
+  if (!config_.defer_snapshot_publish) PublishFullSnapshot();
   if (config_.register_with_runtime) Register();
 }
 
@@ -84,6 +89,21 @@ Result<std::set<rel::Tuple>> Peer::LocalQuery(
   return rel::EvaluateQuery(db_, query);
 }
 
+Result<std::set<rel::Tuple>> Peer::Query(
+    const rel::ConjunctiveQuery& query) const {
+  return SnapshotQuery(*snapshots_, query);
+}
+
+Result<bool> Peer::QueryPoint(const std::string& relation,
+                              const rel::Tuple& key) const {
+  return SnapshotQueryPoint(*snapshots_, relation, key);
+}
+
+void Peer::PublishFullSnapshot() {
+  snapshots_->Publish(
+      rel::BuildSnapshot(db_, snapshots_->CommittedBatches()));
+}
+
 Status Peer::AttachStorage(std::unique_ptr<storage::Storage> storage) {
   if (storage == nullptr) {
     return Status::InvalidArgument("null storage backend");
@@ -93,6 +113,22 @@ Status Peer::AttachStorage(std::unique_ptr<storage::Storage> storage) {
 }
 
 void Peer::OnDeltaApplied(const storage::DeltaMap& delta) {
+  // MVCC commit point: fold the whole batch into the successor snapshot and
+  // swap it in before any durability work. Readers observe either none or
+  // all of this chase application (a prefix of committed batches), and
+  // visibility is decoupled from fsync — safe because the protocol is
+  // monotone and a crash loses nothing a reader could not re-derive.
+  {
+    uint64_t committed = snapshots_->NoteBatchCommitted();
+    std::vector<std::string> touched;
+    touched.reserve(delta.size());
+    for (const auto& [relation, tuples] : delta) {
+      (void)tuples;
+      touched.push_back(relation);
+    }
+    snapshots_->Publish(
+        rel::AdvanceSnapshot(snapshots_->Acquire(), db_, touched, committed));
+  }
   if (storage_ == nullptr) return;
   uint64_t wal_start = span_open_ ? runtime_->NowMicros() : 0;
   Status logged = storage_->LogDelta(delta);
@@ -193,6 +229,9 @@ Result<storage::RecoveryInfo> Peer::Recover() {
   // Compact: fold the replayed WAL into a fresh checkpoint so the next
   // recovery starts from this state directly.
   P2PDB_RETURN_IF_ERROR(storage_->Checkpoint(db_));
+  // Readers switch from the pre-crash snapshot (still served by the shared
+  // store while this peer was down) to the recovered state in one swap.
+  PublishFullSnapshot();
   return info;
 }
 

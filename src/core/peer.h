@@ -16,6 +16,7 @@
 #include "src/net/runtime.h"
 #include "src/obs/trace.h"
 #include "src/relational/database.h"
+#include "src/relational/mvcc.h"
 #include "src/storage/storage.h"
 
 namespace p2pdb::core {
@@ -32,6 +33,15 @@ class Peer : public net::PeerHandler {
     /// arriving the moment the peer is registered, which must not overlap
     /// Recover() rebuilding the database — and calls Register() when ready.
     bool register_with_runtime = true;
+    /// Share a caller-owned snapshot store instead of creating a private one.
+    /// Session hands every peer a store that outlives the Peer object, so
+    /// reader threads keep a stable target across crash/restart churn.
+    std::shared_ptr<rel::SnapshotStore> snapshots;
+    /// Skip the construction-time snapshot publish. A restarting peer is
+    /// built with an EMPTY database and recovers afterwards; publishing that
+    /// empty state into a shared store would briefly un-serve data readers
+    /// already saw. Recover() publishes the recovered state instead.
+    bool defer_snapshot_publish = false;
   };
 
   Peer(NodeId id, std::string name, rel::Database db, net::Runtime* runtime,
@@ -62,9 +72,35 @@ class Peer : public net::PeerHandler {
   void StartPartialUpdate(uint64_t session,
                           const std::set<std::string>& relations);
 
-  /// Evaluates a local query against the node's current database.
+  /// Evaluates a local query against the node's current database. Runs on
+  /// the live instance — only safe from the peer's own dispatch context (use
+  /// Query() for cross-thread reads).
   Result<std::set<rel::Tuple>> LocalQuery(
       const rel::ConjunctiveQuery& query) const;
+
+  // --- Query plane (lock-free MVCC read path; see src/core/query.h) ---
+
+  /// Evaluates a conjunctive query against the latest published snapshot.
+  /// Safe from any thread, concurrently with update propagation: readers
+  /// see a prefix of committed delta batches, never a half-applied chase
+  /// step, and take no lock (one atomic snapshot-pointer load).
+  Result<std::set<rel::Tuple>> Query(const rel::ConjunctiveQuery& query) const;
+
+  /// Point lookup against the latest published snapshot; same guarantees.
+  Result<bool> QueryPoint(const std::string& relation,
+                          const rel::Tuple& key) const;
+
+  /// The latest published snapshot (for inspection / repeated reads at one
+  /// consistent version).
+  rel::SnapshotPtr snapshot() const { return snapshots_->Acquire(); }
+  const std::shared_ptr<rel::SnapshotStore>& snapshot_store() const {
+    return snapshots_;
+  }
+
+  /// Rebuilds and publishes a full snapshot of the live database. Called
+  /// from the construction/recovery paths; also the hook for callers that
+  /// mutate db() directly (tests, examples) and want readers to see it.
+  void PublishFullSnapshot();
 
   // --- Durability (optional; peers without storage behave as before) ---
 
@@ -163,6 +199,7 @@ class Peer : public net::PeerHandler {
   Config config_;
   std::vector<CoordinationRule> rules_;
   std::set<wire::Edge> known_edges_;
+  std::shared_ptr<rel::SnapshotStore> snapshots_;
   std::unique_ptr<storage::Storage> storage_;
   std::unique_ptr<DiscoveryEngine> discovery_;
   std::unique_ptr<UpdateEngine> update_;

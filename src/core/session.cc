@@ -1,6 +1,7 @@
 #include "src/core/session.h"
 
 #include "src/core/dependency.h"
+#include "src/core/query.h"
 #include "src/obs/metrics.h"
 #include "src/util/string_util.h"
 
@@ -10,9 +11,13 @@ Session::Session(const P2PSystem& system, net::Runtime* runtime,
                  Options options)
     : runtime_(runtime), network_(runtime), options_(options) {
   peers_.reserve(system.node_count());
+  stores_.reserve(system.node_count());
   for (const NodeInfo& info : system.nodes()) {
+    stores_.push_back(std::make_shared<rel::SnapshotStore>());
+    Peer::Config config = options_.peer;
+    config.snapshots = stores_.back();
     peers_.push_back(std::make_unique<Peer>(info.id, info.name, info.db,
-                                            runtime_, options_.peer));
+                                            runtime_, config));
     names_.push_back(info.name);
   }
   initial_rules_ = system.rules();
@@ -65,6 +70,29 @@ Status Session::RunPartialUpdate(NodeId at,
   runtime_->RunExclusive(
       at, [&] { peers_[at]->StartPartialUpdate(session, relations); });
   return runtime_->Run();
+}
+
+Result<std::set<rel::Tuple>> Session::Query(
+    NodeId at, const rel::ConjunctiveQuery& query) const {
+  if (at >= stores_.size()) {
+    return Status::InvalidArgument("unknown node " + std::to_string(at));
+  }
+  return SnapshotQuery(*stores_[at], query);
+}
+
+Result<bool> Session::QueryPoint(NodeId at, const std::string& relation,
+                                 const rel::Tuple& key) const {
+  if (at >= stores_.size()) {
+    return Status::InvalidArgument("unknown node " + std::to_string(at));
+  }
+  return SnapshotQueryPoint(*stores_[at], relation, key);
+}
+
+Result<rel::SnapshotPtr> Session::PeerSnapshot(NodeId at) const {
+  if (at >= stores_.size()) {
+    return Status::InvalidArgument("unknown node " + std::to_string(at));
+  }
+  return stores_[at]->Acquire();
 }
 
 void Session::EnableTracing(obs::TraceCollector* collector,
@@ -153,6 +181,11 @@ Status Session::RestartPeer(NodeId id,
   // the instant a peer is registered, which must not overlap recovery.
   Peer::Config config = options_.peer;
   config.register_with_runtime = false;
+  // Rejoin the node's long-lived snapshot store, but do not publish the
+  // empty construction-time database into it: readers keep the pre-crash
+  // snapshot until Recover() publishes the recovered state.
+  config.snapshots = stores_[id];
+  config.defer_snapshot_publish = true;
   auto peer = std::make_unique<Peer>(id, names_[id], rel::Database(), runtime_,
                                      config);
   P2PDB_RETURN_IF_ERROR(peer->AttachStorage(std::move(storage)));

@@ -53,6 +53,28 @@ class Session {
   /// query-dependent mode).
   Status RunPartialUpdate(NodeId at, const std::set<std::string>& relations);
 
+  // --- Query plane (lock-free MVCC read path) ---
+  //
+  // Safe to call from any thread at any time — including while an update
+  // propagates and while churn crashes/restarts peers. Reads go through
+  // per-node SnapshotStores owned by the session (created at construction,
+  // never destroyed, shared with each Peer incarnation), so they never
+  // touch the peers_ vector and never take a lock or RunExclusive: snapshot
+  // acquisition is a single atomic snapshot-pointer load. A crashed node keeps
+  // serving its last committed snapshot until its restart publishes the
+  // recovered state.
+
+  /// Evaluates a conjunctive query at node `at`'s latest snapshot.
+  Result<std::set<rel::Tuple>> Query(NodeId at,
+                                     const rel::ConjunctiveQuery& query) const;
+
+  /// Point lookup at node `at`'s latest snapshot (false = absent).
+  Result<bool> QueryPoint(NodeId at, const std::string& relation,
+                          const rel::Tuple& key) const;
+
+  /// Node `at`'s latest snapshot, for repeated reads at one version.
+  Result<rel::SnapshotPtr> PeerSnapshot(NodeId at) const;
+
   /// Turns on causal tracing: every live peer (and every later restart)
   /// reports propagation spans to `collector`, with 1-in-`sample_every_n`
   /// root updates traced. Also enables the per-message detailed-timing gate
@@ -136,6 +158,11 @@ class Session {
   net::Network network_;
   Options options_;
   std::vector<std::unique_ptr<Peer>> peers_;  // null entry = crashed peer
+  /// One snapshot store per node, fixed at construction and shared with
+  /// every Peer incarnation of that node (see Peer::Config::snapshots).
+  /// Reader threads hold shared_ptrs into this vector's elements, so the
+  /// vector is never resized and the stores are never destroyed mid-session.
+  std::vector<std::shared_ptr<rel::SnapshotStore>> stores_;
   /// Retained for restarts: node names and the system's initial rules (a
   /// restarted head re-learns "all rules of which it is a target"; rule
   /// changes applied after session start are replayed from the peer's WAL by

@@ -1,0 +1,41 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/logging.h"
+
+namespace p2pdb::obs {
+
+bool WriteObsJson(const std::string& path, Registry& registry,
+                  const TraceCollector* collector) {
+  std::string metrics = registry.ReportJson();
+  // Indent the registry object two spaces so the combined file stays legible.
+  std::string body = "{\n  \"metrics\": ";
+  for (char c : metrics) {
+    body += c;
+    if (c == '\n') body += "  ";
+  }
+  while (!body.empty() && (body.back() == ' ' || body.back() == '\n')) {
+    body.pop_back();
+  }
+  body += ",\n  \"traces\": ";
+  body += collector != nullptr ? collector->ReportJson() : "[]";
+  body += "\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    P2PDB_LOG(kWarn) << "obs: cannot write " << path;
+    return false;
+  }
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    P2PDB_LOG(kWarn) << "obs: short write to " << path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace p2pdb::obs

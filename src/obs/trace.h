@@ -120,14 +120,6 @@ class TraceCollector {
   std::atomic<uint32_t> sample_every_{1};
 };
 
-class Registry;
-
-/// Writes the combined observability dump consumed by scripts/run_bench.sh:
-/// {"metrics": <Registry::ReportJson()>, "traces": <collector json or []>}.
-/// Returns false (and logs) if the file cannot be written.
-bool WriteObsJson(const std::string& path, Registry& registry,
-                  const TraceCollector* collector);
-
 }  // namespace p2pdb::obs
 
 #endif  // P2PDB_OBS_TRACE_H_

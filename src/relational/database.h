@@ -11,10 +11,23 @@
 
 namespace p2pdb::rel {
 
+/// Something conjunctive queries can be evaluated against: a name-to-relation
+/// lookup. Implemented by the live Database and by immutable MVCC snapshots
+/// (src/relational/mvcc.h), so the evaluator serves both the chase (writer
+/// side) and concurrent readers without knowing which it is looking at.
+class ReadView {
+ public:
+  virtual ~ReadView() = default;
+
+  /// The named relation, or nullptr when it does not exist (the evaluator
+  /// treats a missing relation as empty).
+  virtual const Relation* FindRelation(const std::string& name) const = 0;
+};
+
 /// One node's local database. Relation names are unique within a node; the
 /// paper keeps node signatures disjoint except for shared constants, so
 /// relation names never clash across nodes.
-class Database {
+class Database : public ReadView {
  public:
   /// Registers an empty relation. Fails if the name already exists.
   Status CreateRelation(RelationSchema schema);
@@ -25,6 +38,11 @@ class Database {
 
   Result<const Relation*> Get(const std::string& name) const;
   Result<Relation*> GetMutable(const std::string& name);
+
+  const Relation* FindRelation(const std::string& name) const override {
+    auto it = relations_.find(name);
+    return it == relations_.end() ? nullptr : &it->second;
+  }
 
   /// Convenience: inserts into a named relation; true if the tuple was new.
   Result<bool> Insert(const std::string& relation, Tuple tuple);

@@ -31,7 +31,7 @@ Value ResolveTerm(const Term& t, const Binding& binding) {
 }
 
 struct EvalContext {
-  const Database* db;
+  const ReadView* db;
   const ConjunctiveQuery* query;
   std::vector<const Atom*> order;
   // builtins_at[i] = builtins that become checkable right after atom order[i].
@@ -45,8 +45,8 @@ void Backtrack(EvalContext* ctx, size_t depth, Binding* binding) {
     return;
   }
   const Atom& atom = *ctx->order[depth];
-  auto rel = ctx->db->Get(atom.relation);
-  if (!rel.ok()) return;  // Missing relation: empty answer.
+  const Relation* rel = ctx->db->FindRelation(atom.relation);
+  if (rel == nullptr) return;  // Missing relation: empty answer.
 
   auto try_tuple = [&](const Tuple& tuple) {
     Binding extended = *binding;
@@ -78,19 +78,24 @@ void Backtrack(EvalContext* ctx, size_t depth, Binding* binding) {
       break;
     }
   }
-  if (indexed_pos >= 0) {
+  // The index path is gated on column < arity so a pre-indexed immutable
+  // snapshot never builds an index on demand (the lazy build mutates under
+  // const — unsafe with concurrent readers). An arity-mismatched atom falls
+  // through to the scan, where unification rejects every tuple anyway.
+  if (indexed_pos >= 0 &&
+      static_cast<size_t>(indexed_pos) < rel->schema().arity()) {
     const Relation::ColumnIndex& index =
-        (*rel)->IndexOn(static_cast<size_t>(indexed_pos));
+        rel->IndexOn(static_cast<size_t>(indexed_pos));
     auto [begin, end] = index.equal_range(key);
     for (auto it = begin; it != end; ++it) try_tuple(*it->second);
   } else {
-    for (const Tuple& tuple : (*rel)->tuples()) try_tuple(tuple);
+    for (const Tuple& tuple : rel->tuples()) try_tuple(tuple);
   }
 }
 
 // Evaluates `query` with `skip_atom` removed (SIZE_MAX = none) and an
 // optional seed binding whose variables count as already bound.
-Result<std::vector<Binding>> EvaluateSeeded(const Database& db,
+Result<std::vector<Binding>> EvaluateSeeded(const ReadView& db,
                                             const ConjunctiveQuery& query,
                                             size_t skip_atom,
                                             const Binding* seed) {
@@ -170,7 +175,7 @@ Result<std::vector<Binding>> EvaluateSeeded(const Database& db,
   return ctx.results;
 }
 
-Result<std::vector<Binding>> EvaluateImpl(const Database& db,
+Result<std::vector<Binding>> EvaluateImpl(const ReadView& db,
                                           const ConjunctiveQuery& query) {
   P2PDB_RETURN_IF_ERROR(query.CheckSafe());
   return EvaluateSeeded(db, query, /*skip_atom=*/SIZE_MAX, /*seed=*/nullptr);
@@ -205,7 +210,7 @@ bool UnifyAtomWithTuple(const Atom& atom, const Tuple& tuple,
   return true;
 }
 
-Result<std::set<Tuple>> EvaluateQuery(const Database& db,
+Result<std::set<Tuple>> EvaluateQuery(const ReadView& db,
                                       const ConjunctiveQuery& query) {
   auto bindings = EvaluateImpl(db, query);
   if (!bindings.ok()) return bindings.status();
@@ -221,12 +226,12 @@ Result<std::set<Tuple>> EvaluateQuery(const Database& db,
   return out;
 }
 
-Result<std::vector<Binding>> EvaluateBindings(const Database& db,
+Result<std::vector<Binding>> EvaluateBindings(const ReadView& db,
                                               const ConjunctiveQuery& query) {
   return EvaluateImpl(db, query);
 }
 
-Result<std::set<Tuple>> EvaluateQueryDelta(const Database& db,
+Result<std::set<Tuple>> EvaluateQueryDelta(const ReadView& db,
                                            const ConjunctiveQuery& query,
                                            size_t delta_atom,
                                            const std::set<Tuple>& delta) {

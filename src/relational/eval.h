@@ -1,4 +1,5 @@
-// Conjunctive query evaluation over a local database.
+// Conjunctive query evaluation over any ReadView (a live database or an
+// immutable MVCC snapshot).
 #ifndef P2PDB_RELATIONAL_EVAL_H_
 #define P2PDB_RELATIONAL_EVAL_H_
 
@@ -17,12 +18,12 @@ namespace p2pdb::rel {
 /// Strategy: greedy atom reordering (most-bound atom first) with backtracking
 /// unification; built-ins are applied as soon as both sides are bound. This is
 /// adequate for the paper's workloads (~10^3 tuples per node).
-Result<std::set<Tuple>> EvaluateQuery(const Database& db,
+Result<std::set<Tuple>> EvaluateQuery(const ReadView& db,
                                       const ConjunctiveQuery& query);
 
 /// Like EvaluateQuery but returns the full bindings (one per result), used by
 /// the chase when applying rule heads that need body variable values.
-Result<std::vector<Binding>> EvaluateBindings(const Database& db,
+Result<std::vector<Binding>> EvaluateBindings(const ReadView& db,
                                               const ConjunctiveQuery& query);
 
 /// Semi-naive (incremental) evaluation: answers of `query` that use at least
@@ -30,7 +31,7 @@ Result<std::vector<Binding>> EvaluateBindings(const Database& db,
 /// query.atoms). The delta atom is matched against `delta` only; the other
 /// atoms read the (already updated) database. Union over all atom occurrences
 /// of a changed relation yields the exact new answers of a monotone update.
-Result<std::set<Tuple>> EvaluateQueryDelta(const Database& db,
+Result<std::set<Tuple>> EvaluateQueryDelta(const ReadView& db,
                                            const ConjunctiveQuery& query,
                                            size_t delta_atom,
                                            const std::set<Tuple>& delta);

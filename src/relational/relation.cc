@@ -42,6 +42,12 @@ const Relation::ColumnIndex& Relation::IndexOn(size_t column) const {
   return it->second;
 }
 
+void Relation::PrebuildIndexes() const {
+  for (size_t column = 0; column < schema_.arity(); ++column) {
+    (void)IndexOn(column);
+  }
+}
+
 std::set<Tuple> Relation::CertainTuples() const {
   std::set<Tuple> out;
   for (const Tuple& t : tuples_) {

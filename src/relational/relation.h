@@ -19,6 +19,26 @@ class Relation {
   Relation() = default;
   explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
 
+  /// Copies drop index state: a copied ColumnIndex would point at the SOURCE
+  /// relation's tuple nodes, not the copy's — dangling the moment the source
+  /// mutates. The copy rebuilds its indexes lazily (or via PrebuildIndexes).
+  Relation(const Relation& other)
+      : schema_(other.schema_), tuples_(other.tuples_),
+        version_(other.version_) {}
+  Relation& operator=(const Relation& other) {
+    if (this == &other) return *this;
+    schema_ = other.schema_;
+    tuples_ = other.tuples_;
+    version_ = other.version_;
+    indexed_version_ = 0;
+    indexes_.clear();
+    return *this;
+  }
+  // Moves keep indexes: std::set is node-based, so the moved-from set's tuple
+  // nodes (and the index pointers into them) stay valid in the destination.
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
   const RelationSchema& schema() const { return schema_; }
   size_t size() const { return tuples_.size(); }
   bool empty() const { return tuples_.empty(); }
@@ -51,6 +71,12 @@ class Relation {
   /// (tuples_ is node-based).
   using ColumnIndex = std::multimap<Value, const Tuple*>;
   const ColumnIndex& IndexOn(size_t column) const;
+
+  /// Eagerly builds the index for every schema column. An immutable relation
+  /// (an MVCC snapshot's) must call this before being shared across threads:
+  /// afterwards concurrent IndexOn(c) calls for c < arity are pure reads,
+  /// whereas the lazy path mutates `mutable` state under const.
+  void PrebuildIndexes() const;
 
   /// Monotone mutation counter; lets callers cheaply detect change.
   uint64_t version() const { return version_; }

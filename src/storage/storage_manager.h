@@ -7,7 +7,8 @@
 //                           re-appended across truncations — the snapshot
 //                           format does not store rules)
 //
-// Appends go to the WAL; when the log outgrows `checkpoint_wal_bytes` the
+// Appends go to the WAL; when the log outgrows `checkpoint_wal_bytes` — or
+// its oldest uncheckpointed record ages past `checkpoint_interval` — the
 // manager snapshots the live database and truncates the log. A crash between
 // the snapshot publish and the log truncation merely leaves already-
 // checkpointed deltas in the WAL — replay is a set-union, so recovery stays
@@ -15,6 +16,8 @@
 #ifndef P2PDB_STORAGE_STORAGE_MANAGER_H_
 #define P2PDB_STORAGE_STORAGE_MANAGER_H_
 
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,6 +38,15 @@ struct StorageOptions {
   GroupCommitOptions group_commit;
   /// Checkpoint and truncate the WAL once it grows past this many bytes.
   uint64_t checkpoint_wal_bytes = 4u << 20;
+  /// Also checkpoint when the oldest uncheckpointed WAL record is older than
+  /// this, even below the size threshold — bounds replay time for peers that
+  /// trickle small deltas. Zero disables the time trigger. Checked on the
+  /// delta path (MaybeCheckpoint); there is no background timer thread, so
+  /// a fully idle peer checkpoints at its next applied delta.
+  std::chrono::microseconds checkpoint_interval{0};
+  /// Clock for the time trigger, overridable so tests can pin it; defaults
+  /// to std::chrono::steady_clock when unset.
+  std::function<uint64_t()> now_micros;
 };
 
 /// Encodes/decodes one WAL record payload: a tagged delta map.
@@ -67,9 +79,14 @@ class StorageManager : public Storage {
       : options_(std::move(options)), wal_(std::move(wal)),
         rule_changes_(std::move(rule_changes)) {}
 
+  uint64_t NowMicros() const;
+
   StorageOptions options_;
   std::unique_ptr<WalWriter> wal_;
   uint64_t checkpoints_taken_ = 0;
+  /// When the first record after the last checkpoint hit the WAL (0 = the
+  /// log holds nothing newer than the checkpoint); drives the time trigger.
+  uint64_t wal_dirty_since_micros_ = 0;
   /// Every rule-change record in the WAL (seeded from disk at Open): the
   /// checkpoint format stores only the database, so these are re-appended
   /// after each WAL truncation to keep the change history durable.

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 
 #include "src/relational/null_iso.h"
@@ -282,6 +283,91 @@ TEST(StorageManagerTest, DeltaForUnknownRelationIsAnError) {
   delta["ghost"].insert(rel::Tuple({rel::Value::Int(1)}));
   ASSERT_TRUE((*manager)->LogDelta(delta).ok());
   EXPECT_FALSE((*manager)->Recover(nullptr).ok());
+}
+
+TEST(StorageManagerTest, WalAgeTriggersCheckpoint) {
+  // Time-based trigger: a small WAL that would never hit the byte threshold
+  // still gets checkpointed once its oldest uncheckpointed record ages past
+  // checkpoint_interval. The clock is injected so the test is instant.
+  uint64_t fake_now = 1'000'000;
+  StorageOptions options;
+  options.dir = FreshDir("time_trigger");
+  options.sync = SyncMode::kNoSync;
+  options.checkpoint_interval = std::chrono::seconds(5);
+  options.now_micros = [&fake_now] { return fake_now; };
+  auto manager = StorageManager::Open(options);
+  ASSERT_TRUE(manager.ok());
+
+  rel::Database db = BaseDb();
+  ASSERT_TRUE((*manager)->EnsureBase(db).ok());
+  uint64_t base = (*manager)->checkpoints_taken();
+
+  DeltaMap delta = OneDelta(2, "young record");
+  ASSERT_TRUE(db.Insert("pub", *delta["pub"].begin()).ok());
+  ASSERT_TRUE((*manager)->LogDelta(delta).ok());
+  ASSERT_TRUE((*manager)->MaybeCheckpoint(db).ok());
+  EXPECT_EQ((*manager)->checkpoints_taken(), base);  // Age 0: no trigger.
+
+  fake_now += 4'999'999;
+  ASSERT_TRUE((*manager)->MaybeCheckpoint(db).ok());
+  EXPECT_EQ((*manager)->checkpoints_taken(), base);  // One tick short.
+
+  fake_now += 1;
+  ASSERT_TRUE((*manager)->MaybeCheckpoint(db).ok());
+  EXPECT_EQ((*manager)->checkpoints_taken(), base + 1);
+
+  // A checkpointed (clean) WAL never re-triggers, no matter how stale the
+  // clock gets — the timer measures dirty records, not idle time.
+  fake_now += 60'000'000;
+  ASSERT_TRUE((*manager)->MaybeCheckpoint(db).ok());
+  EXPECT_EQ((*manager)->checkpoints_taken(), base + 1);
+
+  // The next logged delta restarts the age clock from its own append time.
+  DeltaMap next = OneDelta(3, "second epoch");
+  ASSERT_TRUE(db.Insert("pub", *next["pub"].begin()).ok());
+  ASSERT_TRUE((*manager)->LogDelta(next).ok());
+  fake_now += 4'000'000;
+  ASSERT_TRUE((*manager)->MaybeCheckpoint(db).ok());
+  EXPECT_EQ((*manager)->checkpoints_taken(), base + 1);
+  fake_now += 1'000'000;
+  ASSERT_TRUE((*manager)->MaybeCheckpoint(db).ok());
+  EXPECT_EQ((*manager)->checkpoints_taken(), base + 2);
+
+  auto recovered = (*manager)->Recover(nullptr);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(*recovered == db);
+}
+
+TEST(StorageManagerTest, ReopenedDirtyWalAgesFromReopenTime) {
+  // Records that survive a process restart restart their age clock at Open:
+  // the reopened manager checkpoints within one interval of the reopen, not
+  // immediately (wall-clock age across the restart is unknowable).
+  uint64_t fake_now = 1'000'000;
+  StorageOptions options;
+  options.dir = FreshDir("reopen_age");
+  options.sync = SyncMode::kNoSync;
+  options.checkpoint_interval = std::chrono::seconds(5);
+  options.now_micros = [&fake_now] { return fake_now; };
+
+  rel::Database db = BaseDb();
+  {
+    auto manager = StorageManager::Open(options);
+    ASSERT_TRUE(manager.ok());
+    ASSERT_TRUE((*manager)->EnsureBase(db).ok());
+    DeltaMap delta = OneDelta(2, "survives restart");
+    ASSERT_TRUE(db.Insert("pub", *delta["pub"].begin()).ok());
+    ASSERT_TRUE((*manager)->LogDelta(delta).ok());
+  }
+
+  fake_now += 100'000'000;  // Long downtime.
+  auto reopened = StorageManager::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  uint64_t base = (*reopened)->checkpoints_taken();
+  ASSERT_TRUE((*reopened)->MaybeCheckpoint(db).ok());
+  EXPECT_EQ((*reopened)->checkpoints_taken(), base);  // Clock restarted.
+  fake_now += 5'000'000;
+  ASSERT_TRUE((*reopened)->MaybeCheckpoint(db).ok());
+  EXPECT_EQ((*reopened)->checkpoints_taken(), base + 1);
 }
 
 TEST(StorageManagerTest, NullStorageIsInert) {
