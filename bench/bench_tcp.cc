@@ -242,6 +242,127 @@ BenchResult PeerScalingBench(const std::string& name, size_t peers,
   return result;
 }
 
+/// Fan-out peer: one trigger dispatch sends `msgs_per_dest` messages to every
+/// other peer — the update-plane shape (one handler, many same-destination
+/// sends) that frame coalescing packs into one kBatch frame per destination.
+class FanoutPeer : public net::PeerHandler {
+ public:
+  FanoutPeer(NodeId id, net::Runtime* rt, size_t peers, size_t msgs_per_dest)
+      : id_(id), runtime_(rt), peers_(peers), msgs_(msgs_per_dest) {}
+
+  void OnMessage(const net::Message&) override {
+    for (size_t dest = 1; dest < peers_; ++dest) {
+      for (size_t k = 0; k < msgs_; ++k) {
+        net::Message m = MakeMessage(64);
+        m.from = id_;
+        m.to = static_cast<NodeId>(dest);
+        runtime_->Send(std::move(m));
+      }
+    }
+  }
+
+ private:
+  NodeId id_;
+  net::Runtime* runtime_;
+  size_t peers_;
+  size_t msgs_;
+};
+
+/// Frame coalescing under a fan-out update: `rounds` trigger dispatches, each
+/// spraying msgs_per_dest messages at peers-1 destinations, driven to exact
+/// quiescence. Run once with the default batch cap and once with
+/// batch_max_bytes=0 (solo frames, the pre-batching wire behavior) at equal
+/// message count: frames_per_update is the headline — coalescing should cut
+/// it by the per-destination fan-in factor.
+BenchResult CoalescingFanoutBench(const std::string& name, size_t peers,
+                                  size_t msgs_per_dest, size_t rounds,
+                                  size_t batch_max_bytes) {
+  BenchResult result;
+  result.name = name;
+  net::TcpRuntime::Options options;
+  options.timeout = std::chrono::seconds(120);
+  options.batch_max_bytes = batch_max_bytes;
+  net::TcpRuntime rt(options);
+  FanoutPeer fan(0, &rt, peers, msgs_per_dest);
+  rt.RegisterPeer(0, &fan);
+  std::atomic<uint64_t> received{0};
+  std::vector<std::unique_ptr<CountingPeer>> handlers;
+  handlers.reserve(peers - 1);
+  for (size_t i = 1; i < peers; ++i) {
+    handlers.push_back(std::make_unique<CountingPeer>(&received));
+    rt.RegisterPeer(static_cast<NodeId>(i), handlers.back().get());
+  }
+  if (!rt.Run().ok()) return result;  // Starts worker threads; network idle.
+
+  net::Message trigger = MakeMessage(8);
+  trigger.from = 0;
+  trigger.to = 0;
+  auto start = Clock::now();
+  for (size_t r = 0; r < rounds; ++r) {
+    rt.Send(trigger);
+    if (!rt.Run().ok()) return result;  // Exact fixpoint per round.
+  }
+  double wall_ms = MsSince(start);
+  const double messages =
+      static_cast<double>(rounds * ((peers - 1) * msgs_per_dest + 1));
+  if (received.load() != rounds * (peers - 1) * msgs_per_dest) return result;
+  const double frames =
+      static_cast<double>(rt.stats().io().frames_enqueued.load());
+  result.metrics = {
+      {"wall_ms", wall_ms},
+      {"peers", static_cast<double>(peers)},
+      {"rounds", static_cast<double>(rounds)},
+      {"messages", messages},
+      {"frames_enqueued", frames},
+      {"frames_per_update", frames / static_cast<double>(rounds)},
+      {"batch_frames",
+       static_cast<double>(rt.stats().io().batch_frames.load())},
+      {"batched_messages",
+       static_cast<double>(rt.stats().io().batched_messages.load())},
+      {"credit_frames",
+       static_cast<double>(rt.stats().io().credit_frames.load())},
+      {"frames_per_writev", rt.stats().io().FramesPerWritev()},
+      {"dropped", static_cast<double>(rt.dropped_count())},
+  };
+  return result;
+}
+
+/// Fixpoint termination latency: one ping-pong chain injected, then Run() to
+/// quiescence; wall time covers the chain AND the termination decision. With
+/// quiet_window 0 the credit protocol ends Run() at the exact moment the
+/// last frame is credited; a nonzero window adds its full wait-out-the-clock
+/// sleep on top — the delta between the two rows is the quiet window's cost
+/// per fixpoint, paid again at every Run() in a churn script.
+BenchResult FixpointQuiescenceBench(const std::string& name,
+                                    std::chrono::microseconds quiet_window,
+                                    size_t exchanges) {
+  BenchResult result;
+  result.name = name;
+  net::TcpRuntime::Options options;
+  options.quiet_window = quiet_window;
+  net::TcpRuntime rt(options);
+  PongPeer a(0, &rt, exchanges);
+  PongPeer b(1, &rt, exchanges);
+  rt.RegisterPeer(0, &a);
+  rt.RegisterPeer(1, &b);
+  if (!rt.Run().ok()) return result;  // Starts worker threads; network idle.
+
+  net::Message ping = MakeMessage(64);
+  ping.from = 0;
+  ping.to = 1;
+  auto start = Clock::now();
+  rt.Send(ping);
+  if (!rt.Run().ok()) return result;
+  double wall_ms = MsSince(start);
+  result.metrics = {
+      {"wall_ms", wall_ms},
+      {"quiet_window_us", static_cast<double>(quiet_window.count())},
+      {"exchanges", static_cast<double>(exchanges)},
+      {"messages", static_cast<double>(rt.stats().total_messages())},
+  };
+  return result;
+}
+
 /// End-to-end discovery + global update through a Session on one runtime.
 BenchResult SessionUpdateBench(const std::string& name, net::Runtime* rt,
                                size_t nodes, size_t records) {
@@ -354,6 +475,48 @@ BenchResult Best(BenchResult a, BenchResult b) {
   return a.Metric("wall_ms") <= b.Metric("wall_ms") ? a : b;
 }
 
+/// The `coalescing` summary: headline numbers for the batched-frames +
+/// credit-ack work, derived from the bench rows when the relevant quartet
+/// ran (skipped under --filter otherwise). frame_reduction is solo frames /
+/// batched frames at equal message count; fixpoint_saving_ms is the quiet
+/// window's per-Run() cost removed by exact ack-based termination.
+std::vector<std::pair<std::string, double>> CoalescingSummary(
+    const std::vector<BenchResult>& results) {
+  const BenchResult* batched = nullptr;
+  const BenchResult* solo = nullptr;
+  const BenchResult* ack = nullptr;
+  const BenchResult* quiet = nullptr;
+  for (const BenchResult& r : results) {
+    if (r.name == "tcp_coalesce_64peers_batched") batched = &r;
+    if (r.name == "tcp_coalesce_64peers_solo") solo = &r;
+    if (r.name == "tcp_fixpoint_ack") ack = &r;
+    if (r.name == "tcp_fixpoint_quiet10ms") quiet = &r;
+  }
+  std::vector<std::pair<std::string, double>> summary;
+  if (batched != nullptr && solo != nullptr &&
+      batched->Metric("frames_enqueued") > 0) {
+    summary.emplace_back("messages_per_update",
+                         batched->Metric("messages") /
+                             batched->Metric("rounds"));
+    summary.emplace_back("frames_per_update_batched",
+                         batched->Metric("frames_per_update"));
+    summary.emplace_back("frames_per_update_solo",
+                         solo->Metric("frames_per_update"));
+    summary.emplace_back("frame_reduction",
+                         solo->Metric("frames_enqueued") /
+                             batched->Metric("frames_enqueued"));
+    summary.emplace_back("frames_per_writev_batched",
+                         batched->Metric("frames_per_writev"));
+  }
+  if (ack != nullptr && quiet != nullptr) {
+    summary.emplace_back("fixpoint_ack_ms", ack->Metric("wall_ms"));
+    summary.emplace_back("fixpoint_quiet_window_ms", quiet->Metric("wall_ms"));
+    summary.emplace_back("fixpoint_saving_ms",
+                         quiet->Metric("wall_ms") - ack->Metric("wall_ms"));
+  }
+  return summary;
+}
+
 bool WriteJson(const std::string& path,
                const std::vector<BenchResult>& results, int repeat) {
   std::ofstream out(path);
@@ -368,7 +531,18 @@ bool WriteJson(const std::string& path,
     }
     out << "\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ]";
+  std::vector<std::pair<std::string, double>> summary =
+      CoalescingSummary(results);
+  if (!summary.empty()) {
+    out << ",\n  \"coalescing\": {\n";
+    for (size_t i = 0; i < summary.size(); ++i) {
+      out << "    \"" << summary[i].first << "\": " << summary[i].second
+          << (i + 1 < summary.size() ? "," : "") << "\n";
+    }
+    out << "  }";
+  }
+  out << "\n}\n";
   out.flush();
   return !out.fail();
 }
@@ -401,6 +575,9 @@ int Main(int argc, char** argv) {
   const size_t nodes = 8;
   const size_t records = FullScale() ? 100 : 25;
   const size_t frames_per_peer = FullScale() ? 300 : 100;
+  const size_t coalesce_msgs = 8;  // Fan-in per destination per dispatch.
+  const size_t coalesce_rounds = FullScale() ? 40 : 10;
+  const size_t fixpoint_exchanges = 50;
   using Maker = std::function<BenchResult()>;
   std::vector<std::pair<std::string, Maker>> cases = {
       {"frame_codec_64b",
@@ -427,6 +604,35 @@ int Main(int argc, char** argv) {
        [&] {
          return PeerScalingBench("tcp_scaling_1000peers", 1000,
                                  frames_per_peer);
+       }},
+      // Coalescing pair: identical message counts, only the batch cap
+      // differs. Compare frames_per_update (the `coalescing` JSON section
+      // derives the reduction factor).
+      {"tcp_coalesce_64peers_batched",
+       [&] {
+         return CoalescingFanoutBench("tcp_coalesce_64peers_batched", 64,
+                                      coalesce_msgs, coalesce_rounds,
+                                      net::TcpRuntime::Options{}
+                                          .batch_max_bytes);
+       }},
+      {"tcp_coalesce_64peers_solo",
+       [&] {
+         return CoalescingFanoutBench("tcp_coalesce_64peers_solo", 64,
+                                      coalesce_msgs, coalesce_rounds, 0);
+       }},
+      // Termination pair: exact credit-ack quiescence vs the legacy 10ms
+      // quiet window, same ping-pong chain.
+      {"tcp_fixpoint_ack",
+       [&] {
+         return FixpointQuiescenceBench("tcp_fixpoint_ack",
+                                        std::chrono::microseconds(0),
+                                        fixpoint_exchanges);
+       }},
+      {"tcp_fixpoint_quiet10ms",
+       [&] {
+         return FixpointQuiescenceBench("tcp_fixpoint_quiet10ms",
+                                        std::chrono::microseconds(10'000),
+                                        fixpoint_exchanges);
        }},
       {"update_thread_tree8",
        [&] {

@@ -9,7 +9,9 @@
 #   main      end-to-end update suite (default; emits BENCH_p2pdb.json)
 #   recovery  WAL/checkpoint/crash-recovery suite (emits BENCH_recovery.json)
 #   tcp       frame codec + loopback socket runtime suite (emits BENCH_tcp.json
-#             plus obs.json — the observability snapshot of the fully traced
+#             — including the `coalescing` section: frames-per-update with and
+#             without batching, and exact-ack vs quiet-window fixpoint latency
+#             — plus obs.json, the observability snapshot of the fully traced
 #             durable update: metrics registry + trace reports)
 #   queries   MVCC query plane suite: QPS quiescent vs concurrent with a
 #             propagating update, read-latency percentiles (emits

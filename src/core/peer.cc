@@ -257,13 +257,14 @@ std::set<NodeId> Peer::DependencyTargets() const {
   return out;
 }
 
-void Peer::Send(NodeId to, net::MessageType type,
-                std::vector<uint8_t> payload) {
+void Peer::Send(NodeId to, net::MessageType type, std::vector<uint8_t> payload,
+                bool urgent) {
   net::Message msg;
   msg.type = type;
   msg.from = id_;
   msg.to = to;
   msg.payload = std::move(payload);
+  msg.urgent = urgent;
   if (span_open_) {
     msg.trace.trace_id = active_span_.trace_id;
     msg.trace.parent_span = active_span_.span_id;
@@ -373,6 +374,11 @@ void Peer::DispatchMessage(const net::Message& msg) {
       if (payload.ok()) update_->OnDeleteRule(msg.from, *payload);
       break;
     }
+    case net::MessageType::kBatch:
+    case net::MessageType::kCredit:
+      // Transport-internal frames: the runtime unpacks batches and consumes
+      // credits before dispatch, so a peer never sees either.
+      break;
   }
 }
 

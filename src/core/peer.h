@@ -160,8 +160,12 @@ class Peer : public net::PeerHandler {
 
   /// Serializes and sends one protocol message. While a trace span is open
   /// (a traced message is being handled), the outgoing message inherits its
-  /// trace id and names the span as causal parent.
-  void Send(NodeId to, net::MessageType type, std::vector<uint8_t> payload);
+  /// trace id and names the span as causal parent. `urgent` marks the message
+  /// latency-critical: a coalescing transport flushes it immediately instead
+  /// of holding it for the current dispatch's batch — used for control-plane
+  /// traffic (token ring, reopen pokes) whose delay stretches the fixpoint.
+  void Send(NodeId to, net::MessageType type, std::vector<uint8_t> payload,
+            bool urgent = false);
 
   // --- Causal tracing (optional; see src/obs/trace.h) ---
 

@@ -60,6 +60,69 @@ Result<FrameView> DecodeFrameBody(const uint8_t* data, size_t size) {
   return view;
 }
 
+/// One parse of a kBatch payload; emits a FrameView per inner message to
+/// `sink` when non-null. Inner entries alias the outer frame's payload
+/// buffer (already CRC-verified), so the views are zero-copy.
+Status WalkBatch(const FrameView& outer,
+                 const std::function<void(const FrameView&)>* sink) {
+  Reader r(outer.payload, outer.payload_size);
+  auto count = r.GetVarint();
+  if (!count.ok()) return Status::ParseError("batch frame missing count");
+  if (*count == 0) return Status::ParseError("empty batch frame");
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto type = r.GetU8();
+    auto from = r.GetVarint();
+    auto to = r.GetVarint();
+    auto seq = r.GetVarint();
+    auto trace_id = r.GetVarint();
+    auto parent_span = r.GetVarint();
+    auto hop = r.GetVarint();
+    auto len = r.GetVarint();
+    if (!type.ok() || !from.ok() || !to.ok() || !seq.ok() || !trace_id.ok() ||
+        !parent_span.ok() || !hop.ok() || !len.ok()) {
+      return Status::ParseError("truncated batched message header");
+    }
+    if (!IsKnownMessageType(*type) ||
+        static_cast<MessageType>(*type) == MessageType::kBatch ||
+        static_cast<MessageType>(*type) == MessageType::kCredit) {
+      return Status::ParseError("bad batched message type " +
+                                std::to_string(*type));
+    }
+    if (*from > kNoNode || *to > kNoNode) {
+      return Status::ParseError("batched message node id out of range");
+    }
+    auto payload = r.GetRaw(static_cast<size_t>(*len));
+    if (!payload.ok()) {
+      return Status::ParseError("truncated batched message payload");
+    }
+    FrameView view;
+    view.type = static_cast<MessageType>(*type);
+    view.from = static_cast<NodeId>(*from);
+    view.to = static_cast<NodeId>(*to);
+    view.seq = *seq;
+    view.trace.trace_id = *trace_id;
+    view.trace.parent_span = *parent_span;
+    view.trace.hop = static_cast<uint32_t>(*hop);
+    view.payload = *payload;
+    view.payload_size = static_cast<size_t>(*len);
+    if (sink != nullptr) (*sink)(view);
+  }
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes in batch frame");
+  return Status::OK();
+}
+
+/// Unpacks a kBatch frame all-or-nothing: a validation pass first, so a
+/// malformed entry anywhere — truncated header, unknown or nested type,
+/// short payload, trailing bytes — rejects the whole batch before any sink
+/// fires, matching the frame-level delivery contract. The second pass only
+/// re-reads the (cheap, varint) headers; payloads are never copied.
+Status UnpackBatch(const FrameView& outer,
+                   const std::function<void(const FrameView&)>& sink) {
+  Status valid = WalkBatch(outer, nullptr);
+  if (!valid.ok()) return valid;
+  return WalkBatch(outer, &sink);
+}
+
 }  // namespace
 
 size_t Message::WireSize() const {
@@ -84,6 +147,49 @@ Message FrameView::BorrowMessage() const {
   msg.trace = trace;
   msg.payload = Payload::Borrow(payload, payload_size);
   return msg;
+}
+
+std::vector<uint8_t> EncodeBatchFrame(const std::vector<Message>& msgs) {
+  Writer body;
+  body.PutVarint(msgs.size());
+  for (const Message& m : msgs) {
+    body.PutU8(static_cast<uint8_t>(m.type));
+    body.PutVarint(m.from);
+    body.PutVarint(m.to);
+    body.PutVarint(m.seq);
+    body.PutVarint(m.trace.trace_id);
+    body.PutVarint(m.trace.parent_span);
+    body.PutVarint(m.trace.hop);
+    body.PutVarint(m.payload.size());
+    body.PutRaw(m.payload.data(), m.payload.size());
+  }
+  Message outer;
+  outer.type = MessageType::kBatch;
+  outer.from = msgs.front().from;
+  outer.to = msgs.front().to;
+  outer.seq = msgs.front().seq;
+  outer.payload = body.TakeBytes();
+  return EncodeFrame(outer);
+}
+
+std::vector<uint8_t> EncodeCreditFrame(NodeId from, uint64_t frames_consumed) {
+  Writer body;
+  body.PutVarint(frames_consumed);
+  Message credit;
+  credit.type = MessageType::kCredit;
+  credit.from = from;
+  credit.to = kNoNode;  // Connection-scoped: no destination peer.
+  credit.payload = body.TakeBytes();
+  return EncodeFrame(credit);
+}
+
+Result<uint64_t> DecodeCreditPayload(const FrameView& view) {
+  Reader r(view.payload, view.payload_size);
+  auto consumed = r.GetVarint();
+  if (!consumed.ok() || !r.AtEnd()) {
+    return Status::ParseError("malformed credit frame payload");
+  }
+  return *consumed;
 }
 
 std::vector<uint8_t> EncodeFrame(const Message& msg) {
@@ -149,7 +255,8 @@ Status FrameAssembler::FeedViews(const uint8_t* data, size_t size,
     if (buffer_.size() < total) return Status::OK();
     auto view = DecodeFrameBody(buffer_.data() + kLengthBytes, length);
     if (!view.ok()) return view.status();
-    sink(*view);
+    Status delivered = DeliverFrame(*view, sink);
+    if (!delivered.ok()) return delivered;
     buffer_.clear();
   }
   // Zero-copy scan: complete frames decode straight out of `data`.
@@ -162,10 +269,19 @@ Status FrameAssembler::FeedViews(const uint8_t* data, size_t size,
     if (size - pos - kLengthBytes < length) break;  // Partial frame.
     auto view = DecodeFrameBody(data + pos + kLengthBytes, length);
     if (!view.ok()) return view.status();
-    sink(*view);
+    Status delivered = DeliverFrame(*view, sink);
+    if (!delivered.ok()) return delivered;
     pos += kLengthBytes + length;
   }
   buffer_.assign(data + pos, data + size);
+  return Status::OK();
+}
+
+Status FrameAssembler::DeliverFrame(const FrameView& view,
+                                    const FrameSink& sink) {
+  ++frames_decoded_;  // Credit unit: one wire frame, batch or not.
+  if (view.type == MessageType::kBatch) return UnpackBatch(view, sink);
+  sink(view);
   return Status::OK();
 }
 

@@ -35,6 +35,23 @@ inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
 /// Serializes `msg` into one self-delimiting frame.
 std::vector<uint8_t> EncodeFrame(const Message& msg);
 
+/// Coalesces `msgs` (all to the same destination) into one kBatch frame: a
+/// single length prefix and CRC cover every message, so N small sends cost
+/// one frame header and one checksum instead of N. Batch payload layout:
+///   varint count
+///   count x { u8 type, varint from, varint to, varint seq, varint trace,
+///             varint pspan, varint hop, varint payload_len, payload }
+/// Each entry keeps its own TraceContext, so causal traces stitch exactly as
+/// if the messages had traveled alone. Batches do not nest (an inner kBatch
+/// poisons the stream). Requires msgs non-empty.
+std::vector<uint8_t> EncodeBatchFrame(const std::vector<Message>& msgs);
+
+/// Transport-internal delivery ack: a kCredit frame telling the sender that
+/// `frames_consumed` frames (cumulative, counting batches as one) have been
+/// consumed off this connection. Credits are never credited back themselves,
+/// so the exchange cannot regress.
+std::vector<uint8_t> EncodeCreditFrame(NodeId from, uint64_t frames_consumed);
+
 /// Decodes exactly one frame. Fails on truncation, trailing bytes, a CRC
 /// mismatch, an unknown message type, or an oversized length.
 Result<Message> DecodeFrame(const std::vector<uint8_t>& bytes);
@@ -59,6 +76,9 @@ struct FrameView {
   Message BorrowMessage() const;
 };
 
+/// The cumulative consumed-frame count carried by a kCredit frame.
+Result<uint64_t> DecodeCreditPayload(const FrameView& view);
+
 /// Incremental frame reassembly over an arbitrary byte stream (socket reads
 /// deliver fragments and coalesced frames alike). Frames that arrive whole in
 /// one Feed are decoded in place — only a trailing partial frame is buffered
@@ -70,9 +90,13 @@ class FrameAssembler {
  public:
   using FrameSink = std::function<void(const FrameView&)>;
 
-  /// Zero-copy feed: invokes `sink` once per completed frame. The FrameView's
-  /// payload points into `data` (or into the internal partial-frame buffer)
-  /// and is invalidated when the sink returns.
+  /// Zero-copy feed: invokes `sink` once per completed message. A kBatch
+  /// frame is unpacked in place — the sink fires once per inner message, each
+  /// with its own header and TraceContext (never for the kBatch wrapper
+  /// itself); a malformed or nested inner entry poisons the stream like any
+  /// other framing error. The FrameView's payload points into `data` (or into
+  /// the internal partial-frame buffer) and is invalidated when the sink
+  /// returns.
   Status FeedViews(const uint8_t* data, size_t size, const FrameSink& sink);
 
   /// Owning feed: appends every completed message (payload copied) to `out`.
@@ -81,8 +105,17 @@ class FrameAssembler {
   /// Bytes of an incomplete frame still waiting for the rest of the stream.
   size_t buffered_bytes() const { return buffer_.size(); }
 
+  /// Cumulative count of completed wire frames (a batch counts once, however
+  /// many messages it carries) — the unit of the credit-ack protocol: a
+  /// receiver credits this number back so the sender can retire its
+  /// per-frame send ledger (see TcpRuntime).
+  uint64_t frames_decoded() const { return frames_decoded_; }
+
  private:
+  Status DeliverFrame(const FrameView& view, const FrameSink& sink);
+
   std::vector<uint8_t> buffer_;
+  uint64_t frames_decoded_ = 0;
 };
 
 }  // namespace p2pdb::net

@@ -133,7 +133,9 @@ void MailboxRuntime::DispatchFromTransport(Message&& msg) {
     wait->Record(0);
   }
   if (tracer_) tracer_(NowMicros(), msg);
+  BeginDispatch();
   handler->OnMessage(msg);
+  EndDispatch();
   {
     std::lock_guard<std::mutex> lock(box->mutex);
     box->busy = false;
@@ -158,7 +160,9 @@ void MailboxRuntime::RunExclusive(NodeId id, const std::function<void()>& fn) {
     box->cv.wait(box_lock, [&] { return !box->busy; });
     box->busy = true;  // Claims dispatch rights; see DispatchFromTransport.
   }
+  BeginDispatch();
   fn();
+  EndDispatch();
   {
     std::lock_guard<std::mutex> box_lock(box->mutex);
     box->busy = false;
@@ -211,7 +215,9 @@ void MailboxRuntime::PeerLoop(Mailbox* box) {
     }
     if (handler != nullptr) {
       if (tracer_) tracer_(NowMicros(), msg);
+      BeginDispatch();
       handler->OnMessage(msg);
+      EndDispatch();
     } else {
       CountDrop();  // Unregistered between enqueue and dispatch.
     }
@@ -312,6 +318,10 @@ Status MailboxRuntime::Run() {
           std::to_string(in_flight_.load()) + ")\n" + pending);
     }
     if (in_flight_.load() == 0) {
+      // A zero quiet window means the accounting is exact (every unit of
+      // work is held from creation to consumption), so the first observed
+      // zero IS quiescence — no wall-clock heuristic.
+      if (options_.quiet_window.count() == 0) return Status::OK();
       if (!was_zero) {
         was_zero = true;
         zero_since = now;

@@ -28,9 +28,11 @@ class MailboxRuntime : public Runtime {
     /// Run() fails if quiescence is not reached within this bound.
     std::chrono::milliseconds timeout{30'000};
     /// Run() declares quiescence once no message has been queued, timed, or
-    /// in a handler for this long, continuously. ThreadRuntime's in-flight
-    /// accounting is exact, so a small window suffices; TcpRuntime raises it
-    /// to cover the instant a frame lives only in a kernel socket buffer.
+    /// in a handler for this long, continuously. 0 means the in-flight
+    /// accounting is exact and the first observed zero terminates Run()
+    /// immediately — TcpRuntime's default, since its credit-ack protocol
+    /// tracks every frame from Send() until the receiver consumed it.
+    /// ThreadRuntime keeps a small nonzero window.
     std::chrono::microseconds quiet_window{600};
   };
 
@@ -94,6 +96,15 @@ class MailboxRuntime : public Runtime {
   /// Subclass I/O lifecycle, called with no internal locks held.
   virtual void StartIo() {}
   virtual void StopIo() {}
+
+  /// Bracket around one handler dispatch (OnMessage from PeerLoop or the
+  /// inline transport path, or a RunExclusive fn): the transport may buffer
+  /// sends made inside the bracket and flush them as coalesced frames at
+  /// EndDispatch. Called on the dispatching thread with no mailbox lock held;
+  /// EndDispatch runs before the mailbox's busy flag clears, so flushed
+  /// frames keep per-(peer, destination) FIFO order. Defaults: no-op.
+  virtual void BeginDispatch() {}
+  virtual void EndDispatch() {}
 
   /// One line per unit of outstanding work: per-peer queue depths and busy
   /// handlers, pending timers, and (via subclass overrides) transport-level

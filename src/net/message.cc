@@ -32,6 +32,10 @@ const char* MessageTypeName(MessageType type) {
       return "AddRule";
     case MessageType::kDeleteRule:
       return "DeleteRule";
+    case MessageType::kBatch:
+      return "Batch";
+    case MessageType::kCredit:
+      return "Credit";
   }
   return "Unknown";
 }
@@ -51,6 +55,8 @@ bool IsKnownMessageType(uint8_t raw) {
     case MessageType::kReopen:
     case MessageType::kAddRule:
     case MessageType::kDeleteRule:
+    case MessageType::kBatch:
+    case MessageType::kCredit:
       return true;
   }
   return false;

@@ -34,6 +34,12 @@ enum class MessageType : uint8_t {
   // Dynamic network change notifications (Section 4).
   kAddRule = 30,
   kDeleteRule = 31,
+  // Transport-internal frames, never dispatched to a peer handler. kBatch
+  // packs N same-destination messages into one single-CRC frame (coalescing,
+  // net/frame.h); kCredit carries the receiver's cumulative consumed-frame
+  // count back to the sender, making TcpRuntime quiescence exact.
+  kBatch = 40,
+  kCredit = 41,
 };
 
 const char* MessageTypeName(MessageType type);
@@ -150,6 +156,12 @@ struct Message {
   /// message enters a mailbox queue, rewritten to the measured queue wait
   /// just before dispatch (see MailboxRuntime). Zero on the inline path.
   uint64_t queued_micros = 0;
+  /// Local send-path flag, never serialized: bypass transport coalescing.
+  /// An urgent message flushes whatever batch is pending for its destination
+  /// (preserving per-destination FIFO order) and goes out in its own frame —
+  /// control-plane traffic (token ring, reopen pokes) sets it so fixpoint
+  /// latency never waits on a data-plane batch cap.
+  bool urgent = false;
 
   /// Exact size of this message's frame encoding (see net/frame.h): what a
   /// socket carries and what the statistics module counts as bytes on a pipe.

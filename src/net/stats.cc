@@ -30,13 +30,18 @@ void IoCounters::Reset() {
   inline_dispatches = 0;
   queued_dispatches = 0;
   send_queue_hwm_bytes = 0;
+  frames_enqueued = 0;
+  batch_frames = 0;
+  batched_messages = 0;
+  credit_frames = 0;
 }
 
 std::string IoCounters::Report() const {
   return StrFormat(
       "io: wakeups=%llu writev=%llu frames=%llu (%.2f/call) bytes=%llu "
       "accepts=%llu connects=%llu (failed %llu) dispatch inline=%llu "
-      "queued=%llu queue_hwm=%llu\n",
+      "queued=%llu queue_hwm=%llu enqueued=%llu batches=%llu (carrying %llu) "
+      "credits=%llu\n",
       static_cast<unsigned long long>(epoll_wakeups.load()),
       static_cast<unsigned long long>(writev_calls.load()),
       static_cast<unsigned long long>(writev_frames.load()), FramesPerWritev(),
@@ -46,7 +51,11 @@ std::string IoCounters::Report() const {
       static_cast<unsigned long long>(connect_failures.load()),
       static_cast<unsigned long long>(inline_dispatches.load()),
       static_cast<unsigned long long>(queued_dispatches.load()),
-      static_cast<unsigned long long>(send_queue_hwm_bytes.load()));
+      static_cast<unsigned long long>(send_queue_hwm_bytes.load()),
+      static_cast<unsigned long long>(frames_enqueued.load()),
+      static_cast<unsigned long long>(batch_frames.load()),
+      static_cast<unsigned long long>(batched_messages.load()),
+      static_cast<unsigned long long>(credit_frames.load()));
 }
 
 void NetStats::RecordSend(const Message& msg) {
@@ -116,6 +125,11 @@ void NetStats::ExportTo(obs::Registry& registry,
   registry.GetCounter(prefix + "io.connects")->Add(io_.connects);
   registry.GetCounter(prefix + "io.connect_failures")
       ->Add(io_.connect_failures);
+  registry.GetCounter(prefix + "io.frames_enqueued")->Add(io_.frames_enqueued);
+  registry.GetCounter(prefix + "io.batch_frames")->Add(io_.batch_frames);
+  registry.GetCounter(prefix + "io.batched_messages")
+      ->Add(io_.batched_messages);
+  registry.GetCounter(prefix + "io.credit_frames")->Add(io_.credit_frames);
   uint64_t inline_d = io_.inline_dispatches.load();
   uint64_t queued_d = io_.queued_dispatches.load();
   registry.GetCounter(prefix + "io.inline_dispatches")->Add(inline_d);

@@ -39,6 +39,15 @@ struct IoCounters {
   std::atomic<uint64_t> inline_dispatches{0};
   std::atomic<uint64_t> queued_dispatches{0};
   std::atomic<uint64_t> send_queue_hwm_bytes{0};
+  // Coalescing + credit protocol (TcpRuntime). frames_enqueued counts app
+  // frames handed to send queues (a batch counts once — so frames_enqueued
+  // vs messages recorded is the coalescing factor); batched_messages /
+  // batch_frames is the mean batch occupancy; credit_frames are the
+  // transport-internal acks (excluded from frames_enqueued and NetStats).
+  std::atomic<uint64_t> frames_enqueued{0};
+  std::atomic<uint64_t> batch_frames{0};
+  std::atomic<uint64_t> batched_messages{0};
+  std::atomic<uint64_t> credit_frames{0};
 
   /// Raises send_queue_hwm_bytes to `bytes` if it is a new maximum.
   void RecordQueueDepth(uint64_t bytes);

@@ -93,31 +93,155 @@ std::shared_ptr<Connection> TcpRuntime::OutboundFor(NodeId to) {
   return slot;
 }
 
+TcpRuntime::BatchScope& TcpRuntime::ThisThreadBatchScope() {
+  static thread_local BatchScope scope;
+  return scope;
+}
+
+void TcpRuntime::BeginDispatch() {
+  BatchScope& scope = ThisThreadBatchScope();
+  if (scope.owner == nullptr) {
+    scope.owner = this;
+    scope.depth = 1;
+  } else if (scope.owner == this) {
+    ++scope.depth;  // Defensive: nested dispatch on one thread.
+  }
+  // A different runtime's bracket is already open on this thread: leave it
+  // alone — our sends simply go out unbatched.
+}
+
+void TcpRuntime::EndDispatch() {
+  BatchScope& scope = ThisThreadBatchScope();
+  if (scope.owner != this || --scope.depth > 0) return;
+  for (auto& [to, batch] : scope.dests) FlushDest(to, batch);
+  scope.dests.clear();
+  scope.owner = nullptr;
+}
+
 void TcpRuntime::Send(Message msg) {
   msg.seq = NextSeq();
+  // Per-message accounting happens here, before coalescing, so batched
+  // messages keep their own MessageType and logical wire size in NetStats —
+  // kBatch never appears in the per-type tables. The transport-level saving
+  // shows up in io() instead (frames_enqueued vs messages).
   stats_.RecordSend(msg);
-  std::vector<uint8_t> frame = EncodeFrame(msg);
-  // In-flight from here until the frame reaches the kernel (OnWritten) or is
-  // dropped (OnClose / the fall-through below) — quiescence detection covers
-  // queued frames exactly.
+  // In-flight from here until the receiving runtime credits the frame that
+  // carries this message as consumed (or the frame is dropped) — quiescence
+  // is exact, no kernel-buffer blind spot.
   HoldWork();
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    std::shared_ptr<Connection> conn = OutboundFor(msg.to);
-    if (conn == nullptr) {
-      ReleaseWork();
-      CountDrop();
-      P2PDB_LOG(kWarn) << "dropping message to unknown endpoint: "
-                       << msg.ToString();
+  BatchScope& scope = ThisThreadBatchScope();
+  if (scope.owner == this) {
+    if (!msg.urgent && options_.batch_max_bytes > 0) {
+      PendingBatch& batch = scope.dests[msg.to];
+      msg.payload.EnsureOwned();  // Must outlive the dispatch's read buffer.
+      batch.payload_bytes += msg.payload.size();
+      NodeId to = msg.to;
+      batch.messages.push_back(std::move(msg));
+      if (batch.payload_bytes >= options_.batch_max_bytes) {
+        FlushDest(to, batch);
+      }
       return;
     }
-    // On success the reactor owns the frame and reports it exactly once; a
-    // false return means the connection closed underneath us and the frame
-    // is untouched — retry once on a fresh connection.
-    if (conn->Enqueue(std::move(frame))) return;
+    // Urgent (or coalescing disabled): anything already pending for this
+    // destination goes first, keeping per-destination FIFO order.
+    auto it = scope.dests.find(msg.to);
+    if (it != scope.dests.end()) FlushDest(msg.to, it->second);
   }
-  ReleaseWork();
-  CountDrop();
-  P2PDB_LOG(kWarn) << "kernel refused delivery: " << msg.ToString();
+  NodeId to = msg.to;
+  TransmitFrame(to, EncodeFrame(msg), 1);
+}
+
+void TcpRuntime::FlushDest(NodeId to, PendingBatch& batch) {
+  if (batch.messages.empty()) return;
+  if (batch.messages.size() == 1) {
+    TransmitFrame(to, EncodeFrame(batch.messages.front()), 1);
+  } else {
+    stats_.io().batch_frames.fetch_add(1);
+    stats_.io().batched_messages.fetch_add(batch.messages.size());
+    TransmitFrame(to, EncodeBatchFrame(batch.messages),
+                  static_cast<uint32_t>(batch.messages.size()));
+  }
+  batch.messages.clear();
+  batch.payload_bytes = 0;
+}
+
+std::shared_ptr<TcpRuntime::ConnState> TcpRuntime::StateFor(Connection* conn) {
+  std::lock_guard<std::mutex> lock(states_mutex_);
+  auto it = conn_states_.find(conn);
+  if (it != conn_states_.end()) return it->second;
+  auto state = std::make_shared<ConnState>();
+  // Checked under states_mutex_: OnClose (which sets closed before running)
+  // extracts the map entry under the same lock, so either we insert before
+  // the extraction (and OnClose drains our entries) or we observe closed()
+  // here and never insert a ledger nobody would drain.
+  if (conn->closed()) {
+    state->send_closed = true;
+    return state;  // Ephemeral: callers self-account against it.
+  }
+  conn_states_.emplace(conn, state);
+  return state;
+}
+
+void TcpRuntime::DrainAckedLocked(ConnState& st) {
+  while (st.frames_acked < st.credit_target && !st.ledger.empty()) {
+    uint32_t messages = st.ledger.front();
+    st.ledger.pop_front();
+    st.frames_acked += 1;
+    for (uint32_t i = 0; i < messages; ++i) ReleaseWork();
+  }
+}
+
+void TcpRuntime::HandleCredit(Connection* conn, uint64_t credit) {
+  std::shared_ptr<ConnState> st = StateFor(conn);
+  std::lock_guard<std::mutex> lock(st->mutex);
+  if (credit > st->credit_target) st->credit_target = credit;
+  DrainAckedLocked(*st);
+}
+
+void TcpRuntime::TransmitFrame(NodeId to, std::vector<uint8_t> frame,
+                               uint32_t messages) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::shared_ptr<Connection> conn = OutboundFor(to);
+    if (conn == nullptr) {
+      for (uint32_t i = 0; i < messages; ++i) {
+        ReleaseWork();
+        CountDrop();
+      }
+      P2PDB_LOG(kWarn) << "dropping " << messages
+                       << " message(s) to unknown endpoint (node " << to
+                       << ")";
+      return;
+    }
+    // On success the reactor owns the frame; a false return means the
+    // connection closed underneath us and the frame is untouched — retry
+    // once on a fresh connection.
+    if (conn->Enqueue(std::move(frame))) {
+      stats_.io().frames_enqueued.fetch_add(1);
+      std::shared_ptr<ConnState> st = StateFor(conn.get());
+      std::lock_guard<std::mutex> lock(st->mutex);
+      if (st->send_closed) {
+        // OnClose already drained this connection's ledger, so the reactor
+        // cleared its queue and this frame died with it: account it here.
+        for (uint32_t i = 0; i < messages; ++i) {
+          ReleaseWork();
+          CountDrop();
+        }
+        return;
+      }
+      st->ledger.push_back(messages);
+      st->frames_enqueued += 1;
+      // A credit can race ahead of this append (the receiver consumed the
+      // frame before we got the ledger entry in): drain immediately.
+      DrainAckedLocked(*st);
+      return;
+    }
+  }
+  for (uint32_t i = 0; i < messages; ++i) {
+    ReleaseWork();
+    CountDrop();
+  }
+  P2PDB_LOG(kWarn) << "kernel refused delivery of " << messages
+                   << " message(s) to node " << to;
 }
 
 void TcpRuntime::AddRemoteEndpoint(NodeId id, Endpoint endpoint) {
@@ -173,25 +297,45 @@ Status TcpRuntime::OpenListener(NodeId id) {
 }
 
 bool TcpRuntime::OnRead(Connection* conn, const uint8_t* data, size_t size) {
-  auto* state = static_cast<ReadState*>(conn->user_data);
-  if (state == nullptr) {
-    state = new ReadState();
-    conn->user_data = state;
-  }
+  std::shared_ptr<ConnState> state = StateFor(conn);
   if (!state->holding) {
     HoldWork();
     state->holding = true;
   }
   // Complete frames dispatch straight out of the reactor's read buffer: the
   // payload view stays borrowed through an inline dispatch and is only
-  // copied when the destination mailbox is busy.
+  // copied when the destination mailbox is busy. Credits never reach a
+  // mailbox — they retire this runtime's send ledger on the spot.
   Status fed = state->assembler.FeedViews(
-      data, size, [this](const FrameView& view) {
+      data, size, [this, conn](const FrameView& view) {
+        if (view.type == MessageType::kCredit) {
+          auto credit = DecodeCreditPayload(view);
+          if (credit.ok()) HandleCredit(conn, *credit);
+          return;
+        }
         DispatchFromTransport(view.BorrowMessage());
       });
   if (state->holding && state->assembler.buffered_bytes() == 0) {
     ReleaseWork();
     state->holding = false;
+  }
+  // Receiver half of the credit protocol: ack every frame consumed off an
+  // inbound connection so the sending runtime can retire its holds. The
+  // credit is sent after the dispatches above, so the sender's hold always
+  // outlives the start of the receiver's own accounting — the global
+  // in-flight count can never dip to zero mid-handoff. Credits themselves
+  // arrive on outbound connections and are exempt, so the exchange cannot
+  // regress. Enqueue from the owning worker never blocks.
+  if (conn->inbound()) {
+    uint64_t consumed = state->assembler.frames_decoded();
+    if (consumed > state->credited_out) {
+      state->credited_out = consumed;
+      if (conn->Enqueue(
+              EncodeCreditFrame(static_cast<NodeId>(conn->token()),
+                                consumed))) {
+        stats_.io().credit_frames.fetch_add(1);
+      }
+    }
   }
   if (!fed.ok()) {
     // A poisoned stream cannot be resynchronized; drop the connection.
@@ -203,24 +347,47 @@ bool TcpRuntime::OnRead(Connection* conn, const uint8_t* data, size_t size) {
 }
 
 void TcpRuntime::OnWritten(Connection* conn, size_t frames) {
-  (void)conn;
-  for (size_t i = 0; i < frames; ++i) ReleaseWork();
+  // Only outbound connections carry ledger-tracked frames (inbound ones
+  // carry our credit acks, which are untracked). The count feeds OnClose's
+  // written-vs-dropped split; holds are released by credits, not here.
+  if (conn->inbound()) return;
+  StateFor(conn)->written_frames.fetch_add(frames);
 }
 
 void TcpRuntime::OnClose(Connection* conn, size_t dropped_frames) {
-  auto* state = static_cast<ReadState*>(conn->user_data);
-  if (state != nullptr) {
-    if (state->holding) ReleaseWork();
-    delete state;
-    conn->user_data = nullptr;
+  (void)dropped_frames;  // The ledger below is message-accurate.
+  std::shared_ptr<ConnState> state;
+  {
+    std::lock_guard<std::mutex> lock(states_mutex_);
+    auto it = conn_states_.find(conn);
+    if (it == conn_states_.end()) return;
+    state = std::move(it->second);
+    conn_states_.erase(it);
   }
-  for (size_t i = 0; i < dropped_frames; ++i) {
-    CountDrop();
-    ReleaseWork();
+  if (state->holding) ReleaseWork();  // Partial inbound frame dies with the fd.
+  uint64_t dropped_messages = 0;
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->send_closed = true;
+    // Ledger entries the kernel never fully took (index beyond the written
+    // count) died for sure; written-but-uncredited frames may or may not
+    // have reached the peer — like the pre-credit design, they are not
+    // counted as drops (the kernel accepted them), but their holds must be
+    // released or quiescence would wait on a dead connection forever.
+    uint64_t written = state->written_frames.load();
+    uint64_t index = state->frames_acked;  // Global index of ledger.front().
+    while (!state->ledger.empty()) {
+      uint32_t messages = state->ledger.front();
+      state->ledger.pop_front();
+      ++index;
+      if (index > written) dropped_messages += messages;
+      for (uint32_t i = 0; i < messages; ++i) ReleaseWork();
+    }
   }
-  if (dropped_frames > 0) {
-    P2PDB_LOG(kWarn) << "kernel refused delivery of " << dropped_frames
-                     << " frame(s) to node " << conn->token();
+  for (uint64_t i = 0; i < dropped_messages; ++i) CountDrop();
+  if (dropped_messages > 0) {
+    P2PDB_LOG(kWarn) << "kernel refused delivery of " << dropped_messages
+                     << " message(s) to node " << conn->token();
   }
 }
 
@@ -230,9 +397,19 @@ std::string TcpRuntime::PendingWorkReport() const {
   for (const auto& [to, conn] : outbound_) {
     if (conn == nullptr) continue;
     size_t queued = conn->queued_bytes();
-    if (queued == 0) continue;
+    uint64_t uncredited = 0;
+    {
+      std::lock_guard<std::mutex> states_lock(states_mutex_);
+      auto it = conn_states_.find(conn.get());
+      if (it != conn_states_.end()) {
+        std::lock_guard<std::mutex> st_lock(it->second->mutex);
+        uncredited = it->second->frames_enqueued - it->second->frames_acked;
+      }
+    }
+    if (queued == 0 && uncredited == 0) continue;
     report += "  -> node " + std::to_string(to) + ": " +
-              std::to_string(queued) + " unsent bytes" +
+              std::to_string(queued) + " unsent bytes, " +
+              std::to_string(uncredited) + " uncredited frame(s)" +
               (conn->closed() ? " (connection closed)" : "") + "\n";
   }
   return report;

@@ -17,9 +17,13 @@
 #ifndef P2PDB_NET_TCP_RUNTIME_H_
 #define P2PDB_NET_TCP_RUNTIME_H_
 
+#include <atomic>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/net/frame.h"
 #include "src/net/mailbox_runtime.h"
@@ -42,12 +46,14 @@ class TcpRuntime : public MailboxRuntime, private Reactor::Handler {
   struct Options {
     /// Run() fails if quiescence is not reached within this bound.
     std::chrono::milliseconds timeout{30'000};
-    /// Quiescence quiet window. The reactor's send queues are counted as
-    /// in-flight work (held from Enqueue until the frame reaches the kernel
-    /// or is dropped), so the window only has to cover kernel socket-buffer
-    /// residency — microseconds on loopback — plus scheduling noise. Raise
-    /// it when endpoints cross real links.
-    std::chrono::microseconds quiet_window{10'000};
+    /// Quiescence quiet window. 0 (the default) means termination is exact:
+    /// every message is held in-flight from Send() until the receiving
+    /// runtime credits its frame back as consumed (kCredit acks), so Run()
+    /// returns the moment the global in-flight count hits zero — no
+    /// heuristic sleep. A nonzero window restores the legacy wait-out-the-
+    /// clock behavior (kept for benchmarking the heuristic against exact
+    /// termination; not needed for correctness).
+    std::chrono::microseconds quiet_window{0};
     /// Address listeners bind to (and the host recorded for local peers).
     std::string host = "127.0.0.1";
     /// Reactor worker (event-loop) threads; 0 = hardware concurrency.
@@ -57,6 +63,12 @@ class TcpRuntime : public MailboxRuntime, private Reactor::Handler {
     size_t send_queue_limit = 4u << 20;
     /// Bound on one nonblocking connect attempt.
     std::chrono::milliseconds connect_timeout{1'000};
+    /// Coalescing cap: messages a handler sends to one destination during a
+    /// single dispatch are packed into one kBatch frame (one length prefix,
+    /// one CRC, one writev entry), flushed at dispatch end or as soon as the
+    /// pending batch's payload bytes reach this cap. 0 disables coalescing
+    /// (every message travels in its own frame, the pre-batching behavior).
+    size_t batch_max_bytes = 56u << 10;
   };
 
   TcpRuntime() : TcpRuntime(Options{}) {}
@@ -100,21 +112,60 @@ class TcpRuntime : public MailboxRuntime, private Reactor::Handler {
  protected:
   void StopIo() override;
 
+  /// Coalescing bracket (see MailboxRuntime): sends made between Begin and
+  /// End are buffered per destination and flushed as kBatch frames at End.
+  void BeginDispatch() override;
+  void EndDispatch() override;
+
   /// Adds transport residency to the mailbox report: unsent bytes sitting in
-  /// per-destination send queues and partially reassembled inbound frames.
+  /// per-destination send queues and frames awaiting the receiver's credit.
   std::string PendingWorkReport() const override;
 
  private:
-  /// Per-connection frame reassembly, hung off Connection::user_data and
-  /// touched only by the connection's owning reactor worker. While the
-  /// assembler holds a partial frame, that frame is in-flight work
-  /// quiescence must wait for (nothing else counts it: the sender released
-  /// its hold when the bytes reached the kernel, and no mailbox has seen the
-  /// message yet).
-  struct ReadState {
+  /// Per-connection transport state, owned by conn_states_ (shared_ptr so a
+  /// sender thread can finish its bookkeeping while OnClose retires the
+  /// entry concurrently).
+  ///
+  /// Read half (touched only by the connection's owning reactor worker):
+  /// frame reassembly plus the receiver side of the credit protocol — the
+  /// cumulative count of frames consumed off this connection, credited back
+  /// to the peer runtime as kCredit frames. While the assembler holds a
+  /// partial frame, `holding` pins one in-flight unit (the sender's hold has
+  /// moved on once the frame was consumed; a half-read frame is still work).
+  ///
+  /// Send half (mutex-guarded, any thread): the sender side — one ledger
+  /// entry per tracked frame accepted by Enqueue, recording how many
+  /// messages it carries. Entries retire in FIFO order as the receiver's
+  /// cumulative credit covers them (releasing their quiescence holds) or at
+  /// OnClose (released; counted dropped when the kernel never took them).
+  struct ConnState {
+    // Owning reactor worker only.
     FrameAssembler assembler;
     bool holding = false;
+    uint64_t credited_out = 0;  // Frames already acked back to the sender.
+
+    // Sender half.
+    std::mutex mutex;
+    bool send_closed = false;      // OnClose ran; the ledger is drained.
+    uint64_t frames_enqueued = 0;  // Cumulative tracked frames accepted.
+    uint64_t frames_acked = 0;     // Cumulative frames retired by credit.
+    uint64_t credit_target = 0;    // Highest cumulative credit received.
+    std::deque<uint32_t> ledger;   // Messages per outstanding frame.
+    std::atomic<uint64_t> written_frames{0};  // Cumulative OnWritten count.
   };
+
+  /// One thread's in-progress coalescing bracket: messages buffered per
+  /// destination until EndDispatch (or the batch cap) flushes them.
+  struct PendingBatch {
+    std::vector<Message> messages;
+    size_t payload_bytes = 0;
+  };
+  struct BatchScope {
+    TcpRuntime* owner = nullptr;
+    int depth = 0;
+    std::map<NodeId, PendingBatch> dests;
+  };
+  static BatchScope& ThisThreadBatchScope();
 
   // Reactor::Handler (reactor worker threads).
   bool OnRead(Connection* conn, const uint8_t* data, size_t size) override;
@@ -129,12 +180,35 @@ class TcpRuntime : public MailboxRuntime, private Reactor::Handler {
   /// when the endpoint table has no row.
   std::shared_ptr<Connection> OutboundFor(NodeId to);
 
+  /// The connection's ConnState, created on first use. For an already-closed
+  /// connection whose state was retired, returns an ephemeral send_closed
+  /// state so callers self-account instead of writing to a dead ledger.
+  std::shared_ptr<ConnState> StateFor(Connection* conn);
+
+  /// Ships one encoded frame carrying `messages` in-flight holds to `to`
+  /// (reconnecting once), appends it to the connection's credit ledger, and
+  /// on failure releases the holds as drops.
+  void TransmitFrame(NodeId to, std::vector<uint8_t> frame, uint32_t messages);
+
+  /// Sends `batch` (coalesced if >1 message) and resets it.
+  void FlushDest(NodeId to, PendingBatch& batch);
+
+  /// Receiver credit arrived on outbound connection `conn`: retire ledger
+  /// entries up to the new cumulative target.
+  void HandleCredit(Connection* conn, uint64_t credit);
+
+  /// Retires credited ledger entries, releasing their holds. Caller holds
+  /// st.mutex.
+  void DrainAckedLocked(ConnState& st);
+
   Options options_;
   std::unique_ptr<Reactor> reactor_;
   mutable std::mutex net_mutex_;  // endpoints_, listen_ports_, outbound_.
   std::map<NodeId, Endpoint> endpoints_;
   std::map<NodeId, uint16_t> listen_ports_;
   std::map<NodeId, std::shared_ptr<Connection>> outbound_;
+  mutable std::mutex states_mutex_;  // conn_states_.
+  std::map<const Connection*, std::shared_ptr<ConnState>> conn_states_;
 };
 
 }  // namespace p2pdb::net

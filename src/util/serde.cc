@@ -87,6 +87,13 @@ Result<int64_t> Reader::GetI64() {
   return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
 }
 
+Result<const uint8_t*> Reader::GetRaw(size_t n) {
+  if (pos_ + n > size_) return Status::OutOfRange("GetRaw past end");
+  const uint8_t* out = data_ + pos_;
+  pos_ += n;
+  return out;
+}
+
 Result<std::string> Reader::GetString() {
   auto len = GetVarint();
   if (!len.ok()) return len.status();

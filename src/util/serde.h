@@ -66,6 +66,10 @@ class Reader {
   Result<uint64_t> GetVarint();
   Result<int64_t> GetI64();
   Result<std::string> GetString();
+  /// A pointer to the next `n` bytes, advancing past them — zero-copy access
+  /// to an embedded sub-buffer (e.g. a batched message payload). The pointer
+  /// aliases the Reader's underlying buffer.
+  Result<const uint8_t*> GetRaw(size_t n);
 
   /// True when all bytes have been consumed.
   bool AtEnd() const { return pos_ == size_; }

@@ -281,5 +281,193 @@ TEST(FrameAssemblerTest, DeliversCompleteFramesBeforePoison) {
   EXPECT_TRUE(SameMessage(got[0], good));
 }
 
+TEST(BatchFrameTest, RoundTripsWithPerMessageTraces) {
+  // Three same-destination messages with distinct traces coalesce into one
+  // frame; the assembler unpacks them back into three messages, each keeping
+  // its own type, seq, and trace context.
+  std::vector<Message> msgs = {
+      Make(MessageType::kQueryAnswer, 1, 9, 100, {1, 2, 3}),
+      Make(MessageType::kPartialUpdate, 1, 9, 101, {}),
+      Make(MessageType::kUpdateStart, 1, 9, 102,
+           std::vector<uint8_t>(300, 0x7e)),
+  };
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    msgs[i].trace.trace_id = 0x1000 + i;
+    msgs[i].trace.parent_span = 0x2000 + i;
+    msgs[i].trace.hop = static_cast<uint32_t>(i);
+  }
+  std::vector<uint8_t> frame = EncodeBatchFrame(msgs);
+
+  FrameAssembler assembler;
+  std::vector<Message> got;
+  ASSERT_TRUE(assembler.Feed(frame.data(), frame.size(), &got).ok());
+  ASSERT_EQ(got.size(), msgs.size());
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_TRUE(SameMessage(got[i], msgs[i])) << "message " << i;
+  }
+  // One wire frame, no matter how many messages it carried — the credit
+  // protocol acks frames, so a batch costs its sender exactly one credit.
+  EXPECT_EQ(assembler.frames_decoded(), 1u);
+
+  // One frame for three messages must beat three frames (the whole point):
+  size_t solo = 0;
+  for (const Message& m : msgs) solo += EncodeFrame(m).size();
+  EXPECT_LT(frame.size(), solo);
+}
+
+TEST(BatchFrameTest, SurvivesArbitraryFragmentation) {
+  std::vector<Message> msgs;
+  for (int i = 0; i < 10; ++i) {
+    msgs.push_back(Make(MessageType::kQueryAnswer, 2, 5,
+                        static_cast<uint64_t>(i),
+                        std::vector<uint8_t>(static_cast<size_t>(i * 13),
+                                             static_cast<uint8_t>(i))));
+  }
+  std::vector<uint8_t> frame = EncodeBatchFrame(msgs);
+  for (size_t chunk : {size_t{1}, size_t{5}, frame.size()}) {
+    FrameAssembler assembler;
+    std::vector<Message> got;
+    for (size_t pos = 0; pos < frame.size(); pos += chunk) {
+      size_t n = std::min(chunk, frame.size() - pos);
+      ASSERT_TRUE(assembler.Feed(frame.data() + pos, n, &got).ok());
+    }
+    ASSERT_EQ(got.size(), msgs.size()) << "chunk " << chunk;
+    for (size_t i = 0; i < msgs.size(); ++i) {
+      EXPECT_TRUE(SameMessage(got[i], msgs[i])) << "chunk " << chunk;
+    }
+    EXPECT_EQ(assembler.frames_decoded(), 1u);
+  }
+}
+
+TEST(BatchFrameTest, NestedBatchAndCreditInsideBatchPoisonTheStream) {
+  // The wire format forbids recursion: a batch carrying a kBatch or kCredit
+  // entry is malformed and rejects whole, before any sink fires.
+  for (MessageType inner : {MessageType::kBatch, MessageType::kCredit}) {
+    std::vector<Message> msgs = {
+        Make(MessageType::kQueryAnswer, 1, 2, 3, {1}),
+        Make(inner, 1, 2, 4, {0}),
+    };
+    std::vector<uint8_t> frame = EncodeBatchFrame(msgs);
+    FrameAssembler assembler;
+    int sinks = 0;
+    Status fed = assembler.FeedViews(frame.data(), frame.size(),
+                                     [&](const FrameView&) { ++sinks; });
+    EXPECT_FALSE(fed.ok()) << MessageTypeName(inner);
+    EXPECT_EQ(sinks, 0) << MessageTypeName(inner);
+  }
+}
+
+TEST(BatchFrameTest, TruncatedInnerPayloadRejectsWholeBatch) {
+  std::vector<Message> msgs = {
+      Make(MessageType::kQueryAnswer, 1, 2, 3, {1, 2, 3, 4}),
+      Make(MessageType::kQueryAnswer, 1, 2, 4, {5, 6, 7, 8}),
+  };
+  // Re-wrap the batch body minus its tail: the last entry's payload length
+  // now promises more bytes than the frame holds.
+  auto outer = DecodeFrame(EncodeBatchFrame(msgs));
+  ASSERT_TRUE(outer.ok());
+  ASSERT_EQ(outer->type, MessageType::kBatch);
+  std::vector<uint8_t> body(outer->payload.data(),
+                            outer->payload.data() + outer->payload.size() - 2);
+  Message cut;
+  cut.type = MessageType::kBatch;
+  cut.from = outer->from;
+  cut.to = outer->to;
+  cut.payload = std::move(body);
+  std::vector<uint8_t> frame = EncodeFrame(cut);
+
+  FrameAssembler assembler;
+  int sinks = 0;
+  Status fed = assembler.FeedViews(frame.data(), frame.size(),
+                                   [&](const FrameView&) { ++sinks; });
+  EXPECT_FALSE(fed.ok());
+  EXPECT_EQ(sinks, 0);
+
+  // Same for an empty batch (count of zero): structurally a frame, but no
+  // transport ever sends one.
+  Message empty;
+  empty.type = MessageType::kBatch;
+  empty.from = 1;
+  empty.to = 2;
+  empty.payload = std::vector<uint8_t>{0};  // varint count = 0
+  std::vector<uint8_t> empty_frame = EncodeFrame(empty);
+  FrameAssembler assembler2;
+  EXPECT_FALSE(assembler2
+                   .FeedViews(empty_frame.data(), empty_frame.size(),
+                              [&](const FrameView&) { ++sinks; })
+                   .ok());
+  EXPECT_EQ(sinks, 0);
+}
+
+TEST(CreditFrameTest, RoundTripsCumulativeCount) {
+  for (uint64_t consumed : {uint64_t{1}, uint64_t{300}, ~uint64_t{0}}) {
+    std::vector<uint8_t> frame = EncodeCreditFrame(7, consumed);
+    FrameAssembler assembler;
+    uint64_t got = 0;
+    int sinks = 0;
+    Status fed = assembler.FeedViews(
+        frame.data(), frame.size(), [&](const FrameView& view) {
+          ++sinks;
+          EXPECT_EQ(view.type, MessageType::kCredit);
+          EXPECT_EQ(view.from, 7u);
+          auto decoded = DecodeCreditPayload(view);
+          ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+          got = *decoded;
+        });
+    ASSERT_TRUE(fed.ok());
+    EXPECT_EQ(sinks, 1);
+    EXPECT_EQ(got, consumed);
+  }
+}
+
+TEST(CreditFrameTest, MalformedPayloadIsRejected) {
+  // Trailing garbage after the varint, and an empty payload, both fail.
+  Message bad;
+  bad.type = MessageType::kCredit;
+  bad.from = 3;
+  bad.to = kNoNode;
+  bad.payload = std::vector<uint8_t>{5, 0};  // count plus a stray byte
+  std::vector<uint8_t> frame = EncodeFrame(bad);
+  FrameAssembler assembler;
+  Status fed = assembler.FeedViews(
+      frame.data(), frame.size(), [&](const FrameView& view) {
+        EXPECT_FALSE(DecodeCreditPayload(view).ok());
+      });
+  EXPECT_TRUE(fed.ok());  // The frame itself is sound; the payload is not.
+
+  bad.payload = std::vector<uint8_t>{};
+  std::vector<uint8_t> empty_frame = EncodeFrame(bad);
+  Status fed2 = assembler.FeedViews(
+      empty_frame.data(), empty_frame.size(), [&](const FrameView& view) {
+        EXPECT_FALSE(DecodeCreditPayload(view).ok());
+      });
+  EXPECT_TRUE(fed2.ok());
+}
+
+TEST(CreditFrameTest, FramesDecodedCountsWireFramesNotMessages) {
+  // Stream = plain frame + 3-message batch + credit: 3 wire frames total,
+  // which is what a receiver credits back (the credit unit is the frame).
+  std::vector<uint8_t> stream =
+      EncodeFrame(Make(MessageType::kToken, 1, 2, 1, {9}));
+  std::vector<Message> msgs = {
+      Make(MessageType::kQueryAnswer, 1, 2, 2, {1}),
+      Make(MessageType::kQueryAnswer, 1, 2, 3, {2}),
+      Make(MessageType::kQueryAnswer, 1, 2, 4, {3}),
+  };
+  std::vector<uint8_t> batch = EncodeBatchFrame(msgs);
+  stream.insert(stream.end(), batch.begin(), batch.end());
+  std::vector<uint8_t> credit = EncodeCreditFrame(2, 17);
+  stream.insert(stream.end(), credit.begin(), credit.end());
+
+  FrameAssembler assembler;
+  int sinks = 0;
+  ASSERT_TRUE(assembler
+                  .FeedViews(stream.data(), stream.size(),
+                             [&](const FrameView&) { ++sinks; })
+                  .ok());
+  EXPECT_EQ(sinks, 5);  // 1 plain + 3 unpacked + 1 credit view.
+  EXPECT_EQ(assembler.frames_decoded(), 3u);
+}
+
 }  // namespace
 }  // namespace p2pdb::net

@@ -10,7 +10,9 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "src/core/session.h"
 #include "src/net/sim_runtime.h"
@@ -180,6 +182,194 @@ TEST(TcpRuntimeTest, EndpointParseAndTable) {
   rt.RegisterPeer(3, &a);
   std::string table = rt.EndpointTable();
   EXPECT_NE(table.find("3 127.0.0.1:"), std::string::npos);
+}
+
+// --- Exact quiescence (credit acks, no quiet window) ---------------------
+
+TEST(TcpRuntimeTest, ExactQuiescenceReturnsImmediately) {
+  // Default options: quiet_window is 0 and termination is credit-exact, so a
+  // Run() on a quiescent network returns on its first in-flight==0
+  // observation instead of waiting out a heuristic clock (10ms before).
+  TcpRuntime rt;
+  CountingPeer a(0, &rt, 0), b(1, &rt, 0);
+  rt.RegisterPeer(0, &a);
+  rt.RegisterPeer(1, &b);
+  rt.Send(Make(0, 1));
+  ASSERT_TRUE(rt.Run().ok());
+  EXPECT_EQ(b.received(), 1);
+
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(rt.Run().ok());
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            8);
+}
+
+TEST(TcpRuntimeTest, LegacyQuietWindowKnobStillWaitsOutTheClock) {
+  // The heuristic survives as an opt-in benchmark baseline: with a nonzero
+  // window, even a quiescent Run() must sit through it.
+  TcpRuntime::Options options;
+  options.quiet_window = std::chrono::microseconds(10'000);
+  TcpRuntime rt(options);
+  CountingPeer a(0, &rt, 0), b(1, &rt, 0);
+  rt.RegisterPeer(0, &a);
+  rt.RegisterPeer(1, &b);
+  rt.Send(Make(0, 1));
+  ASSERT_TRUE(rt.Run().ok());
+
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(rt.Run().ok());
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            10'000);
+}
+
+TEST(TcpRuntimeTest, CrashHoldingUncreditedFramesStillReachesQuiescence) {
+  // Exact termination must not wedge on a dead peer: a burst of frames is
+  // in flight (enqueued, some written, none credited) when the receiver's
+  // sockets close. The close-time ledger drain releases every hold, so
+  // Run() converges instead of waiting for credits that can never arrive.
+  ScopedLogCapture quiet;
+  TcpRuntime rt;
+  CountingPeer a(0, &rt, 0), b(1, &rt, 0);
+  rt.RegisterPeer(0, &a);
+  rt.RegisterPeer(1, &b);
+  rt.Send(Make(0, 1));
+  ASSERT_TRUE(rt.Run().ok());  // Connection established.
+
+  for (int i = 0; i < 200; ++i) {
+    rt.Send(Make(0, 1, std::vector<uint8_t>(4096, 0x33)));
+  }
+  rt.UnregisterPeer(1);
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(rt.Run().ok());
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            10);  // Well under the 30s give-up deadline: no hang.
+}
+
+// --- Frame coalescing ----------------------------------------------------
+
+/// On each incoming message, sends `fan` tagged kQueryAnswer messages to
+/// `dest` within the one dispatch — the shape coalescing packs into a single
+/// kBatch frame. Tag = first payload byte, `urgent_tag` (if nonzero) is sent
+/// with the urgent flag.
+class FanPeer : public PeerHandler {
+ public:
+  FanPeer(NodeId id, Runtime* rt, NodeId dest, int fan, uint8_t urgent_tag = 0)
+      : id_(id), runtime_(rt), dest_(dest), fan_(fan),
+        urgent_tag_(urgent_tag) {}
+
+  void OnMessage(const Message&) override {
+    for (int i = 1; i <= fan_; ++i) {
+      Message m;
+      m.type = MessageType::kQueryAnswer;
+      m.from = id_;
+      m.to = dest_;
+      m.payload = std::vector<uint8_t>{static_cast<uint8_t>(i), 0, 0};
+      m.urgent = (static_cast<uint8_t>(i) == urgent_tag_);
+      runtime_->Send(std::move(m));
+    }
+  }
+
+ private:
+  NodeId id_;
+  Runtime* runtime_;
+  NodeId dest_;
+  int fan_;
+  uint8_t urgent_tag_;
+};
+
+/// Records the tag byte of every received message, in arrival order.
+class RecordingPeer : public PeerHandler {
+ public:
+  void OnMessage(const Message& msg) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    order_.push_back(msg.payload.size() > 0 ? msg.payload.data()[0] : 0);
+  }
+  std::vector<uint8_t> order() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return order_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<uint8_t> order_;
+};
+
+TEST(TcpRuntimeTest, DispatchSendsCoalesceAndStatsNameInnerTypes) {
+  // Five same-destination sends inside one dispatch travel as one kBatch
+  // frame — but NetStats attributes each message to its own MessageType;
+  // kBatch is transport framing and never appears in the per-type tables.
+  TcpRuntime rt;
+  FanPeer fan(1, &rt, 2, /*fan=*/5);
+  RecordingPeer sink;
+  rt.RegisterPeer(1, &fan);
+  rt.RegisterPeer(2, &sink);
+  rt.Send(Make(0, 1));  // Trigger (no scope on this thread: solo frame).
+  ASSERT_TRUE(rt.Run().ok());
+
+  ASSERT_EQ(sink.order().size(), 5u);
+  EXPECT_EQ(rt.stats().MessagesOfType(MessageType::kQueryAnswer), 5u);
+  EXPECT_EQ(rt.stats().MessagesOfType(MessageType::kBatch), 0u);
+  EXPECT_EQ(rt.stats().io().batch_frames.load(), 1u);
+  EXPECT_EQ(rt.stats().io().batched_messages.load(), 5u);
+  // Wire frames: the trigger plus the batch — not 1 + 5.
+  EXPECT_EQ(rt.stats().io().frames_enqueued.load(), 2u);
+  EXPECT_EQ(rt.dropped_count(), 0u);
+}
+
+TEST(TcpRuntimeTest, UrgentMessageBypassesBatchKeepingFifoOrder) {
+  // Tags 1..5 with tag 3 urgent: the urgent send flushes the pending batch
+  // (1,2) first, goes out solo, and 4,5 coalesce behind it — three wire
+  // frames, arrival order intact.
+  TcpRuntime rt;
+  FanPeer fan(1, &rt, 2, /*fan=*/5, /*urgent_tag=*/3);
+  RecordingPeer sink;
+  rt.RegisterPeer(1, &fan);
+  rt.RegisterPeer(2, &sink);
+  rt.Send(Make(0, 1));
+  ASSERT_TRUE(rt.Run().ok());
+
+  EXPECT_EQ(sink.order(), (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(rt.stats().io().batch_frames.load(), 2u);
+  EXPECT_EQ(rt.stats().io().batched_messages.load(), 4u);
+  EXPECT_EQ(rt.stats().io().frames_enqueued.load(), 4u);  // trigger+2+solo.
+}
+
+TEST(TcpRuntimeTest, BatchCapFlushesMidDispatch) {
+  // A tiny cap forces flushes before EndDispatch: messages still all arrive,
+  // in order, just spread across more frames.
+  TcpRuntime::Options options;
+  options.batch_max_bytes = 8;  // Two 3-byte payloads breach the cap.
+  TcpRuntime rt(options);
+  FanPeer fan(1, &rt, 2, /*fan=*/9);
+  RecordingPeer sink;
+  rt.RegisterPeer(1, &fan);
+  rt.RegisterPeer(2, &sink);
+  rt.Send(Make(0, 1));
+  ASSERT_TRUE(rt.Run().ok());
+
+  EXPECT_EQ(sink.order(), (std::vector<uint8_t>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_GE(rt.stats().io().batch_frames.load(), 3u);
+}
+
+TEST(TcpRuntimeTest, CoalescingDisabledSendsEveryMessageSolo) {
+  TcpRuntime::Options options;
+  options.batch_max_bytes = 0;  // Pre-batching behavior.
+  TcpRuntime rt(options);
+  FanPeer fan(1, &rt, 2, /*fan=*/5);
+  RecordingPeer sink;
+  rt.RegisterPeer(1, &fan);
+  rt.RegisterPeer(2, &sink);
+  rt.Send(Make(0, 1));
+  ASSERT_TRUE(rt.Run().ok());
+
+  ASSERT_EQ(sink.order().size(), 5u);
+  EXPECT_EQ(rt.stats().io().batch_frames.load(), 0u);
+  EXPECT_EQ(rt.stats().io().frames_enqueued.load(), 6u);  // trigger + 5 solo.
 }
 
 // --- Protocol-level scenarios over sockets -------------------------------
