@@ -195,18 +195,20 @@ BenchResult ChurnBench(const std::string& name, size_t nodes,
 
   std::string root = FreshDir(name);
   net::SimRuntime rt;
-  core::Session session(*system, &rt);
+  core::Session::Options session_options;
+  session_options.storage =
+      [root](NodeId node) -> std::unique_ptr<storage::Storage> {
+    storage::StorageOptions storage_options;
+    storage_options.dir = root + "/peer" + std::to_string(node);
+    storage_options.sync = storage::SyncMode::kNoSync;
+    auto manager = storage::StorageManager::Open(storage_options);
+    return manager.ok() ? std::move(*manager) : nullptr;
+  };
+  core::Session session(*system, &rt, session_options);
   if (!session.RunDiscovery().ok()) return result;
   ScopedLogCapture quiet;  // Drop-to-crashed-peer warnings are expected.
   auto start = Clock::now();
-  Status run = session.RunUpdateWithChurn(
-      *churn, [&root](NodeId node) -> std::unique_ptr<storage::Storage> {
-        storage::StorageOptions storage_options;
-        storage_options.dir = root + "/peer" + std::to_string(node);
-        storage_options.sync = storage::SyncMode::kNoSync;
-        auto manager = storage::StorageManager::Open(storage_options);
-        return manager.ok() ? std::move(*manager) : nullptr;
-      });
+  Status run = session.RunUpdateWithChurn(*churn);
   double wall_ms = MsSince(start);
   if (!run.ok()) return result;
   uint64_t inserted = 0;

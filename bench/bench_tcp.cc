@@ -421,23 +421,24 @@ BenchResult TracedUpdateBench(const std::string& name, size_t nodes,
   auto system = workload::BuildScenario(options);
   if (!system.ok()) return result;
 
-  net::TcpRuntime rt;
-  core::Session session(*system, &rt);
-  obs::TraceCollector collector;
-  if (sample_every > 0) session.EnableTracing(&collector, sample_every);
-
   namespace fs = std::filesystem;
   fs::path root = fs::temp_directory_path() / ("p2pdb_bench_" + name);
   fs::remove_all(root);
-  for (size_t n = 0; n < nodes; ++n) {
+  net::TcpRuntime rt;
+  core::Session::Options session_options;
+  session_options.storage =
+      [root](NodeId node) -> std::unique_ptr<storage::Storage> {
     storage::StorageOptions sopts;
-    sopts.dir = (root / ("node" + std::to_string(n))).string();
+    sopts.dir = (root / ("node" + std::to_string(node))).string();
     auto manager = storage::StorageManager::Open(sopts);
-    if (!manager.ok()) return result;
-    if (!session.AttachStorage(static_cast<NodeId>(n), std::move(*manager))
-             .ok()) {
-      return result;
-    }
+    return manager.ok() ? std::move(*manager) : nullptr;
+  };
+  core::Session session(*system, &rt, session_options);
+  obs::TraceCollector collector;
+  if (sample_every > 0) session.EnableTracing(&collector, sample_every);
+
+  for (size_t n = 0; n < nodes; ++n) {
+    if (!session.AttachStorage(static_cast<NodeId>(n)).ok()) return result;
   }
 
   if (!session.RunDiscovery().ok()) return result;

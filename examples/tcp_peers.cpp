@@ -25,8 +25,18 @@ int main() {
 
   // Every peer gets its own endpoint; the table is what a multi-process
   // deployment would exchange out of band (one "node host:port" row each).
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "p2pdb_tcp_peers_B").string();
+  std::filesystem::remove_all(dir);
   net::TcpRuntime runtime;
-  core::Session session(*system, &runtime);
+  core::Session::Options options;
+  options.storage = [&dir](NodeId) -> std::unique_ptr<storage::Storage> {
+    storage::StorageOptions storage_options;
+    storage_options.dir = dir;
+    auto manager = storage::StorageManager::Open(storage_options);
+    return manager.ok() ? std::move(*manager) : nullptr;
+  };
+  core::Session session(*system, &runtime, options);
   std::printf("endpoint table (node host:port):\n%s\n",
               runtime.EndpointTable().c_str());
 
@@ -44,23 +54,14 @@ int main() {
   // Crash/recover peer B: attach durable storage, close its sockets, restart
   // it from checkpoint + WAL on a fresh port, and re-converge.
   NodeId victim = *system->NodeByName("B");
-  std::string dir =
-      (std::filesystem::temp_directory_path() / "p2pdb_tcp_peers_B").string();
-  std::filesystem::remove_all(dir);
-  auto open_storage = [&dir]() -> std::unique_ptr<storage::Storage> {
-    storage::StorageOptions options;
-    options.dir = dir;
-    auto manager = storage::StorageManager::Open(options);
-    return manager.ok() ? std::move(*manager) : nullptr;
-  };
-  if (!session.AttachStorage(victim, open_storage()).ok()) return 1;
+  if (!session.AttachStorage(victim).ok()) return 1;
   uint16_t old_port = runtime.ListenPort(victim);
   (void)session.CrashPeer(victim);
   std::printf("\ncrashed B: listener on port %u closed, dropped so far: %llu\n",
               old_port,
               static_cast<unsigned long long>(runtime.dropped_count()));
 
-  if (!session.RestartPeer(victim, open_storage()).ok()) return 1;
+  if (!session.RestartPeer(victim).ok()) return 1;
   std::printf("restarted B from its WAL on fresh port %u\n",
               runtime.ListenPort(victim));
   if (Status st = session.Rediscover(); !st.ok()) {

@@ -97,6 +97,20 @@ int main(int argc, char** argv) {
     }
     options.super_peer = *id;
   }
+  if (!durable_dir.empty()) {
+    options.storage =
+        [&durable_dir](NodeId node) -> std::unique_ptr<storage::Storage> {
+      storage::StorageOptions sopts;
+      sopts.dir = durable_dir + "/node" + std::to_string(node);
+      auto manager = storage::StorageManager::Open(sopts);
+      if (!manager.ok()) {
+        std::fprintf(stderr, "cannot open storage in %s: %s\n",
+                     sopts.dir.c_str(), manager.status().ToString().c_str());
+        return nullptr;
+      }
+      return std::move(*manager);
+    };
+  }
   core::Session session(*system, runtime.get(), options);
 
   obs::TraceCollector collector;
@@ -106,17 +120,7 @@ int main(int argc, char** argv) {
     // Durable peers: every chase delta goes through a real WAL, so the trace
     // spans (and obs.json histograms) include WAL append/fsync time.
     for (size_t n = 0; n < session.peer_count(); ++n) {
-      storage::StorageOptions sopts;
-      sopts.dir = durable_dir + "/node" + std::to_string(n);
-      auto manager = storage::StorageManager::Open(sopts);
-      if (!manager.ok()) {
-        std::fprintf(stderr, "cannot open storage in %s: %s\n",
-                     sopts.dir.c_str(),
-                     manager.status().ToString().c_str());
-        return 1;
-      }
-      if (Status st = session.AttachStorage(static_cast<NodeId>(n),
-                                            std::move(*manager));
+      if (Status st = session.AttachStorage(static_cast<NodeId>(n));
           !st.ok()) {
         std::fprintf(stderr, "attach storage failed: %s\n",
                      st.ToString().c_str());

@@ -1,0 +1,52 @@
+#include "src/core/bootstrap.h"
+
+#include <utility>
+
+namespace p2pdb::core {
+
+Result<std::unique_ptr<Peer>> PeerBootstrap::Build(net::Runtime* runtime,
+                                                   Spec spec) {
+  const bool wants_registration = spec.config.register_with_runtime;
+  Peer::Config config = spec.config;
+  if (spec.recover) {
+    // Deferred registration: on concurrent runtimes (thread/TCP) messages
+    // flow the instant a peer is registered, which must not overlap
+    // Recover() rebuilding the database. Deferred publish: the peer is built
+    // with an EMPTY database, and publishing that into a shared snapshot
+    // store would briefly un-serve data readers already saw.
+    config.register_with_runtime = false;
+    config.defer_snapshot_publish = true;
+  }
+  auto peer = std::make_unique<Peer>(
+      spec.id, std::move(spec.name),
+      spec.recover ? rel::Database() : std::move(spec.db), runtime, config);
+  if (spec.storage != nullptr) {
+    P2PDB_RETURN_IF_ERROR(peer->AttachStorage(std::move(spec.storage)));
+  }
+  if (spec.rules != nullptr) {
+    // Initial rules first: Recover() replays logged mid-session rule changes
+    // (addLink/deleteLink) on top of them, so a rule deleted before the
+    // crash stays deleted and one added mid-session reappears without
+    // re-delivery. AlreadyExists is fine — re-bootstrap re-sends the table.
+    for (const CoordinationRule& rule : *spec.rules) {
+      if (rule.head_node != spec.id) continue;
+      Status st = peer->AddInitialRule(rule);
+      if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
+    }
+  }
+  if (spec.recover) {
+    auto info = peer->Recover();
+    if (!info.ok()) return info.status();
+  }
+  peer->SetTraceCollector(spec.collector);
+  if (spec.recover && wants_registration) {
+    peer->Register();  // Open for business: recovered state is in place.
+    // RegisterPeer cannot fail, but delivery can be impossible anyway (a
+    // socket runtime that could not bind a listener): surface that here
+    // instead of letting the restarted peer silently drop everything.
+    P2PDB_RETURN_IF_ERROR(runtime->PeerReady(spec.id));
+  }
+  return peer;
+}
+
+}  // namespace p2pdb::core

@@ -379,6 +379,19 @@ void Peer::DispatchMessage(const net::Message& msg) {
       // Transport-internal frames: the runtime unpacks batches and consumes
       // credits before dispatch, so a peer never sees either.
       break;
+    case net::MessageType::kBootstrap:
+    case net::MessageType::kBootstrapAck:
+    case net::MessageType::kStartDiscovery:
+    case net::MessageType::kStartUpdate:
+    case net::MessageType::kRefreshScc:
+    case net::MessageType::kStatusRequest:
+    case net::MessageType::kStatusReport:
+    case net::MessageType::kDumpRequest:
+    case net::MessageType::kDumpReply:
+    case net::MessageType::kShutdown:
+      // Control plane: handled by the daemon layer (src/daemon) wrapping the
+      // peer's handler; a bare Peer ignores stray control traffic.
+      break;
   }
 }
 

@@ -1,5 +1,6 @@
 #include "src/core/session.h"
 
+#include "src/core/bootstrap.h"
 #include "src/core/dependency.h"
 #include "src/core/query.h"
 #include "src/obs/metrics.h"
@@ -9,21 +10,29 @@ namespace p2pdb::core {
 
 Session::Session(const P2PSystem& system, net::Runtime* runtime,
                  Options options)
-    : runtime_(runtime), network_(runtime), options_(options) {
+    : runtime_(runtime), network_(runtime), options_(std::move(options)) {
   peers_.reserve(system.node_count());
   stores_.reserve(system.node_count());
+  initial_rules_ = system.rules();
   for (const NodeInfo& info : system.nodes()) {
     stores_.push_back(std::make_shared<rel::SnapshotStore>());
-    Peer::Config config = options_.peer;
-    config.snapshots = stores_.back();
-    peers_.push_back(std::make_unique<Peer>(info.id, info.name, info.db,
-                                            runtime_, config));
+    PeerBootstrap::Spec spec;
+    spec.id = info.id;
+    spec.name = info.name;
+    spec.db = info.db;
+    // "Initially each node knows all rules of which it is a target":
+    // Build installs the rules headed at this node.
+    spec.rules = &initial_rules_;
+    spec.config = options_.peer;
+    spec.config.snapshots = stores_.back();
+    auto built = PeerBootstrap::Build(runtime_, std::move(spec));
+    // Fresh construction without storage cannot fail (rules are filtered to
+    // this head, duplicates tolerated); a null entry here would mean a bug
+    // in PeerBootstrap, and IsAlive() reports it as a crashed node.
+    peers_.push_back(built.ok() ? std::move(*built) : nullptr);
     names_.push_back(info.name);
   }
-  initial_rules_ = system.rules();
   for (const CoordinationRule& rule : initial_rules_) {
-    // "Initially each node knows all rules of which it is a target."
-    (void)peers_[rule.head_node]->AddInitialRule(rule);
     for (const CoordinationRule::BodyPart& p : rule.body) {
       network_.AddRuleLink(rule.head_node, p.node);
     }
@@ -146,13 +155,15 @@ Status Session::Rediscover() {
   return runtime_->Run();
 }
 
-Status Session::AttachStorage(NodeId id,
-                              std::unique_ptr<storage::Storage> storage) {
+Status Session::AttachStorage(NodeId id) {
   if (!IsAlive(id)) {
     return Status::InvalidArgument("node " + std::to_string(id) +
                                    " is not alive");
   }
-  return peers_[id]->AttachStorage(std::move(storage));
+  if (!options_.storage) {
+    return Status::InvalidArgument("session has no storage provider");
+  }
+  return peers_[id]->AttachStorage(options_.storage(id));
 }
 
 Status Session::CrashPeer(NodeId id) {
@@ -168,8 +179,7 @@ Status Session::CrashPeer(NodeId id) {
   return Status::OK();
 }
 
-Status Session::RestartPeer(NodeId id,
-                            std::unique_ptr<storage::Storage> storage) {
+Status Session::RestartPeer(NodeId id) {
   if (id >= peers_.size()) {
     return Status::InvalidArgument("unknown node " + std::to_string(id));
   }
@@ -177,40 +187,30 @@ Status Session::RestartPeer(NodeId id,
     return Status::InvalidArgument("node " + std::to_string(id) +
                                    " is still alive");
   }
-  // Deferred registration: on concurrent runtimes (thread/TCP) messages flow
-  // the instant a peer is registered, which must not overlap recovery.
-  Peer::Config config = options_.peer;
-  config.register_with_runtime = false;
-  // Rejoin the node's long-lived snapshot store, but do not publish the
-  // empty construction-time database into it: readers keep the pre-crash
-  // snapshot until Recover() publishes the recovered state.
-  config.snapshots = stores_[id];
-  config.defer_snapshot_publish = true;
-  auto peer = std::make_unique<Peer>(id, names_[id], rel::Database(), runtime_,
-                                     config);
-  P2PDB_RETURN_IF_ERROR(peer->AttachStorage(std::move(storage)));
-  // Initial rules first: Recover() replays logged mid-session rule changes
-  // (addLink/deleteLink) on top of them, so a rule deleted before the crash
-  // stays deleted and one added mid-session reappears without re-delivery.
-  for (const CoordinationRule& rule : initial_rules_) {
-    if (rule.head_node != id) continue;
-    Status st = peer->AddInitialRule(rule);
-    if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
+  if (!options_.storage) {
+    return Status::InvalidArgument("session has no storage provider");
   }
-  auto info = peer->Recover();
-  if (!info.ok()) return info.status();
-  peer->SetTraceCollector(collector_);  // Tracing survives the restart.
-  peer->Register();  // Open for business: recovered state is in place.
-  // RegisterPeer cannot fail, but delivery can be impossible anyway (a
-  // socket runtime that could not bind a listener): surface that here
-  // instead of letting the restarted peer silently drop everything.
-  P2PDB_RETURN_IF_ERROR(runtime_->PeerReady(id));
-  peers_[id] = std::move(peer);
+  // The full restart choreography (deferred registration, rejoining the
+  // node's long-lived snapshot store without publishing the empty
+  // construction-time database, storage before rules before Recover) lives
+  // in PeerBootstrap — the same path p2pdb_peerd takes when a re-exec'd
+  // process reopens its data directory.
+  PeerBootstrap::Spec spec;
+  spec.id = id;
+  spec.name = names_[id];
+  spec.rules = &initial_rules_;
+  spec.config = options_.peer;
+  spec.config.snapshots = stores_[id];
+  spec.storage = options_.storage(id);
+  spec.recover = true;
+  spec.collector = collector_;  // Tracing survives the restart.
+  auto built = PeerBootstrap::Build(runtime_, std::move(spec));
+  if (!built.ok()) return built.status();
+  peers_[id] = std::move(*built);
   return Status::OK();
 }
 
-Status Session::RunUpdateWithChurn(const ChurnScript& churn,
-                                   const StorageProvider& storage_for) {
+Status Session::RunUpdateWithChurn(const ChurnScript& churn) {
   P2PDB_RETURN_IF_ERROR(ValidateChurnScript(churn, peers_.size()));
   // Durability must be in place before the crash: attach storage to every
   // peer the script will kill (base checkpoint now, WAL from here on).
@@ -218,7 +218,7 @@ Status Session::RunUpdateWithChurn(const ChurnScript& churn,
     if (e.kind != ChurnEvent::Kind::kCrash) continue;
     if (!IsAlive(e.node)) continue;
     if (peers_[e.node]->storage() != nullptr) continue;
-    P2PDB_RETURN_IF_ERROR(AttachStorage(e.node, storage_for(e.node)));
+    P2PDB_RETURN_IF_ERROR(AttachStorage(e.node));
   }
 
   if (!IsAlive(options_.super_peer)) {
@@ -236,7 +236,7 @@ Status Session::RunUpdateWithChurn(const ChurnScript& churn,
     if (e.kind == ChurnEvent::Kind::kCrash) {
       P2PDB_RETURN_IF_ERROR(CrashPeer(e.node));
     } else {
-      P2PDB_RETURN_IF_ERROR(RestartPeer(e.node, storage_for(e.node)));
+      P2PDB_RETURN_IF_ERROR(RestartPeer(e.node));
       restarted = true;
     }
   }

@@ -22,6 +22,12 @@ namespace p2pdb::core {
 
 class Session {
  public:
+  /// Creates a storage backend for a node: called when churn attaches
+  /// durability before a crash, and again when the node restarts (like a
+  /// fresh process reopening its data directory).
+  using StorageProvider =
+      std::function<std::unique_ptr<storage::Storage>(NodeId)>;
+
   struct Options {
     Peer::Config peer;
     NodeId super_peer = 0;
@@ -29,6 +35,12 @@ class Session {
     /// its own paths); kSuperPeer runs only the super-peer's instance, which
     /// covers exactly the nodes that will participate in its update.
     enum class DiscoveryMode { kAll, kSuperPeer } discovery = DiscoveryMode::kAll;
+    /// The session's one durability source. AttachStorage, RestartPeer and
+    /// RunUpdateWithChurn all draw backends from here, so a node's crash and
+    /// its restart necessarily reopen the same storage — callers can no
+    /// longer hand a restart a backend unrelated to the one that crashed.
+    /// Unset means the session is purely volatile.
+    StorageProvider storage;
   };
 
   /// Builds one peer per system node and registers the coordination rules at
@@ -91,27 +103,27 @@ class Session {
   Status Rediscover();
 
   // --- Peer churn (crash / durable restart) ---
+  //
+  // All durability flows through Options::storage: AttachStorage and
+  // RestartPeer ask the provider for node `id`'s backend, so the restart
+  // reuses exactly the storage the crash left behind.
 
-  /// Creates a storage backend for a node (called when churn attaches
-  /// durability before a crash and again when the node restarts, like a
-  /// fresh process reopening its data directory).
-  using StorageProvider =
-      std::function<std::unique_ptr<storage::Storage>(NodeId)>;
-
-  /// Attaches a storage backend to a live peer (checkpoints its current
-  /// database as the base state; every applied delta is logged from here on).
-  Status AttachStorage(NodeId id, std::unique_ptr<storage::Storage> storage);
+  /// Attaches node `id`'s storage backend to its live peer (checkpoints the
+  /// current database as the base state; every applied delta is logged from
+  /// here on). Requires Options::storage.
+  Status AttachStorage(NodeId id);
 
   /// Simulates a process crash: destroys the peer object and unregisters it
   /// from the runtime, so in-flight messages to it are dropped. Its durable
   /// storage (if any) survives on disk.
   Status CrashPeer(NodeId id);
 
-  /// Restarts a crashed peer: rebuilds it from `storage` via
-  /// Peer::Recover() (checkpoint + WAL replay), re-registers the initial
-  /// coordination rules headed at it, and re-registers it with the runtime.
-  /// The caller then rejoins it via the normal discovery/session path.
-  Status RestartPeer(NodeId id, std::unique_ptr<storage::Storage> storage);
+  /// Restarts a crashed peer: rebuilds it from Options::storage's backend
+  /// for `id` via Peer::Recover() (checkpoint + WAL replay), re-registers
+  /// the initial coordination rules headed at it, and re-registers it with
+  /// the runtime. The caller then rejoins it via the normal
+  /// discovery/session path.
+  Status RestartPeer(NodeId id);
 
   /// True when the peer object exists (has not crashed).
   bool IsAlive(NodeId id) const {
@@ -126,8 +138,8 @@ class Session {
   /// every restarted peer rejoins through rediscovery plus a fresh update
   /// session, re-converging the whole network (the protocol is monotone, so
   /// the second session is idempotent on already-complete peers).
-  Status RunUpdateWithChurn(const ChurnScript& churn,
-                            const StorageProvider& storage_for);
+  /// Requires Options::storage when the script crashes anyone.
+  Status RunUpdateWithChurn(const ChurnScript& churn);
 
   // --- Inspection ---
   Peer& peer(NodeId id) { return *peers_[id]; }  // Precondition: IsAlive(id).

@@ -1,0 +1,441 @@
+#include "src/daemon/fleet.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/core/discovery.h"
+#include "src/core/update.h"
+#include "src/relational/snapshot.h"
+#include "src/util/logging.h"
+
+namespace p2pdb::daemon {
+
+namespace wire = core::wire;
+
+Result<std::vector<uint16_t>> PickFreePorts(const std::string& host,
+                                            size_t count) {
+  std::vector<int> fds;
+  std::vector<uint16_t> ports;
+  auto close_all = [&fds]() {
+    for (int fd : fds) ::close(fd);
+  };
+  for (size_t i = 0; i < count; ++i) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      close_all();
+      return Status::Internal("socket(): " + std::string(strerror(errno)));
+    }
+    fds.push_back(fd);
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      close_all();
+      return Status::InvalidArgument("bad host '" + host + "'");
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      close_all();
+      return Status::Internal("bind(): " + std::string(strerror(errno)));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      close_all();
+      return Status::Internal("getsockname(): " +
+                              std::string(strerror(errno)));
+    }
+    ports.push_back(ntohs(bound.sin_port));
+  }
+  // Every socket stayed open until here, so the kernel handed out `count`
+  // DISTINCT ports; releasing them all at once lets the daemons rebind.
+  close_all();
+  return ports;
+}
+
+Result<std::vector<PeerdConfig>> MakeFleetConfigs(
+    const core::P2PSystem& system, const std::string& system_file,
+    const std::string& root, const std::string& host,
+    const std::vector<uint16_t>& ports, NodeId super_peer, bool no_sync) {
+  if (ports.size() != system.node_count()) {
+    return Status::InvalidArgument(
+        std::to_string(system.node_count()) + "-node system but " +
+        std::to_string(ports.size()) + " ports");
+  }
+  if (super_peer >= system.node_count()) {
+    return Status::InvalidArgument("super_peer " + std::to_string(super_peer) +
+                                   " is not a system node");
+  }
+  std::vector<wire::EndpointEntry> table;
+  table.reserve(system.node_count());
+  for (NodeId n = 0; n < system.node_count(); ++n) {
+    table.push_back({n, host, ports[n]});
+  }
+  std::vector<PeerdConfig> configs;
+  for (NodeId n = 0; n < system.node_count(); ++n) {
+    PeerdConfig cfg;
+    cfg.node = n;
+    cfg.name = system.node(n).name;
+    cfg.listen = {host, ports[n]};
+    cfg.system_file = system_file;
+    const std::string base = root + "/peer" + std::to_string(n);
+    cfg.data_dir = base;
+    cfg.pid_file = base + ".pid";
+    cfg.obs_json = base + ".obs.json";
+    cfg.super_peer = super_peer;
+    cfg.no_sync = no_sync;
+    cfg.peers = table;
+    configs.push_back(std::move(cfg));
+  }
+  return configs;
+}
+
+FleetController::FleetController(core::P2PSystem system,
+                                 std::vector<wire::EndpointEntry> fleet,
+                                 NodeId super_peer, Options options)
+    : system_(std::move(system)),
+      fleet_(std::move(fleet)),
+      super_peer_(super_peer),
+      options_(std::move(options)),
+      id_(static_cast<NodeId>(system_.node_count())) {}
+
+Result<std::unique_ptr<FleetController>> FleetController::Connect(
+    core::P2PSystem system, std::vector<wire::EndpointEntry> fleet,
+    NodeId super_peer, Options options) {
+  if (fleet.size() != system.node_count()) {
+    return Status::InvalidArgument(
+        std::to_string(system.node_count()) + "-node system but " +
+        std::to_string(fleet.size()) + " endpoint rows");
+  }
+  auto controller = std::unique_ptr<FleetController>(new FleetController(
+      std::move(system), std::move(fleet), super_peer, std::move(options)));
+  net::TcpRuntime::Options net_options;
+  net_options.host = controller->options_.host;
+  controller->runtime_ = std::make_unique<net::TcpRuntime>(net_options);
+  controller->runtime_->RegisterPeer(controller->id_, controller.get());
+  P2PDB_RETURN_IF_ERROR(controller->runtime_->PeerReady(controller->id_));
+  for (const wire::EndpointEntry& e : controller->fleet_) {
+    P2PDB_RETURN_IF_ERROR(controller->runtime_->AddRemoteEndpoint(
+        e.node, net::TcpRuntime::Endpoint{e.host, e.port}));
+  }
+  return controller;
+}
+
+FleetController::~FleetController() {
+  if (runtime_ != nullptr) runtime_->UnregisterPeer(id_);
+}
+
+std::vector<NodeId> FleetController::AllNodes() const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(system_.node_count());
+  for (NodeId n = 0; n < system_.node_count(); ++n) nodes.push_back(n);
+  return nodes;
+}
+
+void FleetController::SendControl(NodeId to, net::MessageType type,
+                                  std::vector<uint8_t> payload) {
+  net::Message msg;
+  msg.type = type;
+  msg.from = id_;
+  msg.to = to;
+  msg.payload = std::move(payload);
+  msg.urgent = true;
+  runtime_->Send(std::move(msg));
+}
+
+uint64_t FleetController::Deadline() const {
+  return runtime_->NowMicros() +
+         static_cast<uint64_t>(options_.timeout.count()) * 1000;
+}
+
+void FleetController::Nap() {
+  (void)runtime_->RunUntil(runtime_->NowMicros() + 20'000);
+}
+
+void FleetController::OnMessage(const net::Message& msg) {
+  switch (msg.type) {
+    case net::MessageType::kBootstrapAck: {
+      auto ack = wire::BootstrapAck::Decode(msg.payload);
+      if (!ack.ok()) {
+        P2PDB_LOG(kWarn) << "bad bootstrap ack from " << msg.from << ": "
+                         << ack.status().ToString();
+        return;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      acks_[ack->node] = std::move(*ack);
+      return;
+    }
+    case net::MessageType::kStatusReport: {
+      auto report = wire::StatusReport::Decode(msg.payload);
+      if (!report.ok()) {
+        P2PDB_LOG(kWarn) << "bad status report from " << msg.from << ": "
+                         << report.status().ToString();
+        return;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      reports_[report->node] = std::move(*report);
+      return;
+    }
+    case net::MessageType::kDumpReply: {
+      auto dump = wire::DumpReply::Decode(msg.payload);
+      if (!dump.ok()) {
+        P2PDB_LOG(kWarn) << "bad dump reply from " << msg.from << ": "
+                         << dump.status().ToString();
+        return;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      dumps_[dump->node] = std::move(*dump);
+      return;
+    }
+    default:
+      P2PDB_LOG(kWarn) << "controller ignoring " << msg.ToString();
+      return;
+  }
+}
+
+Status FleetController::Bootstrap(const std::vector<NodeId>& nodes) {
+  // The controller's own endpoint row rides along so daemons can route
+  // replies back without the controller appearing in any config file.
+  std::vector<wire::EndpointEntry> table = fleet_;
+  table.push_back({id_, options_.host, runtime_->ListenPort(id_)});
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    acks_.clear();
+  }
+  auto encode = [&](NodeId n) {
+    wire::SessionBootstrap bootstrap;
+    bootstrap.epoch = options_.epoch;
+    bootstrap.node = n;
+    bootstrap.name = system_.node(n).name;
+    bootstrap.super_peer = super_peer_;
+    for (const auto& [name, relation] : system_.node(n).db.relations()) {
+      (void)name;
+      bootstrap.schema.push_back(relation.schema());
+    }
+    for (const core::CoordinationRule* rule : system_.RulesWithHead(n)) {
+      bootstrap.rules.push_back(*rule);
+    }
+    bootstrap.endpoints = table;
+    return bootstrap.Encode();
+  };
+  for (NodeId n : nodes) {
+    SendControl(n, net::MessageType::kBootstrap, encode(n));
+  }
+  const uint64_t deadline = Deadline();
+  uint64_t resend_at = runtime_->NowMicros() + kBootstrapResendMicros;
+  while (true) {
+    std::vector<NodeId> missing;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (NodeId n : nodes) {
+        auto it = acks_.find(n);
+        if (it == acks_.end()) {
+          missing.push_back(n);
+          continue;
+        }
+        if (!it->second.accepted) {
+          return Status::ProtocolError("node " + std::to_string(n) + " (" +
+                                       it->second.name +
+                                       ") rejected bootstrap: " +
+                                       it->second.error);
+        }
+      }
+      if (missing.empty()) return Status::OK();
+    }
+    if (runtime_->NowMicros() >= deadline) {
+      return Status::Internal("bootstrap timed out");
+    }
+    // A bootstrap frame sent before the daemon's listener is bound is dropped
+    // by the failed connect, so keep re-sending to unacked nodes: the daemon
+    // side is idempotent (re-validate, re-apply endpoints, re-ack).
+    if (runtime_->NowMicros() >= resend_at) {
+      for (NodeId n : missing) {
+        SendControl(n, net::MessageType::kBootstrap, encode(n));
+      }
+      resend_at = runtime_->NowMicros() + kBootstrapResendMicros;
+    }
+    Nap();
+  }
+}
+
+Result<std::vector<wire::StatusReport>> FleetController::PollStatus(
+    const std::vector<NodeId>& nodes) {
+  // Replies are matched to this round positionally: the previous round only
+  // returned once EVERY reply had arrived, and replies ride per-connection
+  // FIFO streams, so nothing stale can land after the clear below.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    reports_.clear();
+  }
+  wire::StatusRequest request;
+  request.epoch = options_.epoch;
+  for (NodeId n : nodes) {
+    SendControl(n, net::MessageType::kStatusRequest, request.Encode());
+  }
+  const uint64_t deadline = Deadline();
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      bool complete = true;
+      for (NodeId n : nodes) {
+        if (reports_.find(n) == reports_.end()) {
+          complete = false;
+          break;
+        }
+      }
+      if (complete) {
+        std::vector<wire::StatusReport> round;
+        round.reserve(nodes.size());
+        for (NodeId n : nodes) round.push_back(reports_[n]);
+        return round;
+      }
+    }
+    if (runtime_->NowMicros() >= deadline) {
+      return Status::Internal("status poll timed out");
+    }
+    Nap();
+  }
+}
+
+Status FleetController::StartDiscovery(const std::vector<NodeId>& nodes) {
+  wire::ControlStartDiscovery start;
+  start.epoch = options_.epoch;
+  for (NodeId n : nodes) {
+    SendControl(n, net::MessageType::kStartDiscovery, start.Encode());
+  }
+  return Status::OK();
+}
+
+Status FleetController::AwaitDiscoveryClosed(
+    const std::vector<NodeId>& nodes) {
+  const uint64_t deadline = Deadline();
+  const auto closed =
+      static_cast<uint8_t>(core::DiscoveryEngine::State::kClosed);
+  while (true) {
+    auto round = PollStatus(nodes);
+    if (!round.ok()) return round.status();
+    if (std::all_of(round->begin(), round->end(),
+                    [closed](const wire::StatusReport& r) {
+                      return r.state_discovery == closed;
+                    })) {
+      return Status::OK();
+    }
+    if (runtime_->NowMicros() >= deadline) {
+      return Status::Internal("discovery did not close in time");
+    }
+    Nap();
+  }
+}
+
+Status FleetController::RefreshScc(const std::vector<NodeId>& nodes) {
+  wire::ControlRefreshScc refresh;
+  refresh.epoch = options_.epoch;
+  for (NodeId n : nodes) {
+    SendControl(n, net::MessageType::kRefreshScc, refresh.Encode());
+  }
+  // Status barrier: a reply proves the refresh was dispatched first (same
+  // connection, FIFO) — the cross-process Session::Rediscover barrier.
+  return PollStatus(nodes).status();
+}
+
+Status FleetController::StartUpdate(uint64_t session) {
+  wire::ControlStartUpdate start;
+  start.epoch = options_.epoch;
+  start.session = session;
+  SendControl(super_peer_, net::MessageType::kStartUpdate, start.Encode());
+  return Status::OK();
+}
+
+Status FleetController::AwaitUpdateFixpoint(
+    const std::vector<NodeId>& nodes,
+    std::vector<wire::StatusReport>* final_reports) {
+  const uint64_t deadline = Deadline();
+  const auto open = static_cast<uint8_t>(core::UpdateEngine::State::kOpen);
+  const auto closed = static_cast<uint8_t>(core::UpdateEngine::State::kClosed);
+  std::vector<wire::StatusReport> previous;
+  while (true) {
+    auto round = PollStatus(nodes);
+    if (!round.ok()) return round.status();
+    const bool none_open =
+        std::none_of(round->begin(), round->end(),
+                     [open](const wire::StatusReport& r) {
+                       return r.state_update == open;
+                     });
+    // The super-peer must have closed: kStartUpdate and kStatusRequest ride
+    // the same FIFO connection, so its first report already reflects the
+    // started session — an all-idle fleet can never satisfy this, which is
+    // what keeps the probe from declaring fixpoint before the update starts.
+    bool super_closed = true;
+    for (const wire::StatusReport& r : *round) {
+      if (r.node == super_peer_) super_closed = (r.state_update == closed);
+    }
+    if (none_open && super_closed && *round == previous) {
+      if (final_reports != nullptr) *final_reports = std::move(*round);
+      return Status::OK();
+    }
+    previous = std::move(*round);
+    if (runtime_->NowMicros() >= deadline) {
+      return Status::Internal("update did not reach fixpoint in time");
+    }
+    Nap();
+  }
+}
+
+Status FleetController::AwaitStable(const std::vector<NodeId>& nodes) {
+  const uint64_t deadline = Deadline();
+  std::vector<wire::StatusReport> previous;
+  while (true) {
+    auto round = PollStatus(nodes);
+    if (!round.ok()) return round.status();
+    if (*round == previous) return Status::OK();
+    previous = std::move(*round);
+    if (runtime_->NowMicros() >= deadline) {
+      return Status::Internal("fleet did not stabilize in time");
+    }
+    Nap();
+  }
+}
+
+Result<rel::Database> FleetController::Dump(NodeId node) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dumps_.erase(node);
+  }
+  wire::DumpRequest request;
+  request.epoch = options_.epoch;
+  SendControl(node, net::MessageType::kDumpRequest, request.Encode());
+  const uint64_t deadline = Deadline();
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = dumps_.find(node);
+      if (it != dumps_.end()) {
+        return rel::DeserializeDatabase(it->second.database);
+      }
+    }
+    if (runtime_->NowMicros() >= deadline) {
+      return Status::Internal("dump of node " + std::to_string(node) +
+                              " timed out");
+    }
+    Nap();
+  }
+}
+
+Status FleetController::SendShutdown(const std::vector<NodeId>& nodes) {
+  wire::ControlShutdown shutdown;
+  shutdown.epoch = options_.epoch;
+  for (NodeId n : nodes) {
+    SendControl(n, net::MessageType::kShutdown, shutdown.Encode());
+  }
+  return Status::OK();
+}
+
+}  // namespace p2pdb::daemon

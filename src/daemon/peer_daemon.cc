@@ -1,0 +1,274 @@
+#include "src/daemon/peer_daemon.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "src/core/bootstrap.h"
+#include "src/lang/parser.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/relational/snapshot.h"
+#include "src/storage/storage_manager.h"
+#include "src/util/logging.h"
+
+namespace p2pdb::daemon {
+
+namespace wire = core::wire;
+
+PeerDaemon::PeerDaemon(PeerdConfig config, core::P2PSystem system)
+    : config_(std::move(config)), system_(std::move(system)) {}
+
+Result<std::unique_ptr<PeerDaemon>> PeerDaemon::Start(PeerdConfig config) {
+  std::ifstream in(config.system_file);
+  if (!in) {
+    return Status::NotFound("cannot open system file " + config.system_file);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto system = lang::ParseSystem(buf.str());
+  if (!system.ok()) return system.status();
+  if (config.node >= system->node_count()) {
+    return Status::InvalidArgument(
+        "config node " + std::to_string(config.node) +
+        " does not exist in " + config.system_file);
+  }
+  const core::NodeInfo& info = system->node(config.node);
+  if (info.name != config.name) {
+    return Status::InvalidArgument("config names node " +
+                                   std::to_string(config.node) + " '" +
+                                   config.name + "' but the system file says '" +
+                                   info.name + "'");
+  }
+
+  auto daemon =
+      std::unique_ptr<PeerDaemon>(new PeerDaemon(config, std::move(*system)));
+  const PeerdConfig& cfg = daemon->config_;
+
+  net::TcpRuntime::Options net_options;
+  net_options.host = cfg.listen.host;
+  net_options.listen_port = cfg.listen.port;
+  daemon->runtime_ = std::make_unique<net::TcpRuntime>(net_options);
+
+  // Fresh boot vs re-exec: an existing checkpoint means a previous
+  // incarnation of this process already established the durable base, so
+  // the peer must recover its state instead of reseeding from the system
+  // file (which would silently discard everything propagated pre-crash).
+  std::unique_ptr<storage::Storage> backend;
+  bool recover = false;
+  if (!cfg.data_dir.empty()) {
+    storage::StorageOptions storage_options;
+    storage_options.dir = cfg.data_dir;
+    storage_options.sync =
+        cfg.no_sync ? storage::SyncMode::kNoSync : storage::SyncMode::kSync;
+    auto manager = storage::StorageManager::Open(storage_options);
+    if (!manager.ok()) return manager.status();
+    recover = (*manager)->HasBase();
+    backend = std::move(*manager);
+  }
+
+  core::PeerBootstrap::Spec spec;
+  spec.id = cfg.node;
+  spec.name = cfg.name;
+  spec.db = daemon->system_.node(cfg.node).db;
+  spec.rules = &daemon->system_.rules();
+  // The DAEMON is the registered handler (it must see control frames), so
+  // the peer itself never registers; registration happens below.
+  spec.config.register_with_runtime = false;
+  spec.storage = std::move(backend);
+  spec.recover = recover;
+  auto peer = core::PeerBootstrap::Build(daemon->runtime_.get(),
+                                         std::move(spec));
+  if (!peer.ok()) return peer.status();
+  daemon->peer_ = std::move(*peer);
+  daemon->recovered_ = recover;
+
+  daemon->runtime_->RegisterPeer(cfg.node, daemon.get());
+  P2PDB_RETURN_IF_ERROR(daemon->runtime_->PeerReady(cfg.node));
+  uint16_t bound = daemon->runtime_->ListenPort(cfg.node);
+  if (cfg.listen.port != 0 && bound != cfg.listen.port) {
+    return Status::Internal("bound port " + std::to_string(bound) +
+                            " instead of configured " +
+                            std::to_string(cfg.listen.port));
+  }
+
+  for (const wire::EndpointEntry& e : cfg.peers) {
+    if (e.node == cfg.node) continue;  // Own row: the listener owns it.
+    P2PDB_RETURN_IF_ERROR(daemon->runtime_->AddRemoteEndpoint(
+        e.node, net::TcpRuntime::Endpoint{e.host, e.port}));
+  }
+
+  if (!cfg.pid_file.empty()) {
+    std::ofstream pid(cfg.pid_file, std::ios::trunc);
+    if (!pid) {
+      return Status::Internal("cannot write pid file " + cfg.pid_file);
+    }
+    pid << ::getpid() << "\n";
+  }
+
+  P2PDB_LOG(kInfo) << "p2pdb_peerd node " << cfg.node << " (" << cfg.name
+                   << ") serving on " << cfg.listen.host << ":" << bound
+                   << (recover ? " (recovered from " + cfg.data_dir + ")"
+                               : "");
+  return daemon;
+}
+
+PeerDaemon::~PeerDaemon() = default;
+
+Status PeerDaemon::Serve() {
+  while (!stop_.load()) {
+    // The mailbox workers and the reactor deliver concurrently; this thread
+    // only needs to stay alive and poll the stop flag.
+    P2PDB_RETURN_IF_ERROR(
+        runtime_->RunUntil(runtime_->NowMicros() + 200'000));
+  }
+  if (!config_.obs_json.empty()) {
+    obs::WriteObsJson(config_.obs_json, obs::Registry::Global(),
+                      peer_->trace_collector());
+  }
+  if (!config_.pid_file.empty()) {
+    std::remove(config_.pid_file.c_str());
+  }
+  return Status::OK();
+}
+
+Status PeerDaemon::ApplyBootstrap(const wire::SessionBootstrap& bootstrap) {
+  if (bootstrap.node != config_.node || bootstrap.name != config_.name) {
+    return Status::InvalidArgument(
+        "bootstrap is for node " + std::to_string(bootstrap.node) + " '" +
+        bootstrap.name + "', this daemon is node " +
+        std::to_string(config_.node) + " '" + config_.name + "'");
+  }
+  if (bootstrap.super_peer != config_.super_peer) {
+    return Status::InvalidArgument(
+        "bootstrap names super-peer " + std::to_string(bootstrap.super_peer) +
+        ", config says " + std::to_string(config_.super_peer));
+  }
+  // Schema drift check: every relation the controller believes this node
+  // serves must exist here with the same attributes. The local system file
+  // stays authoritative — a mismatch is a provisioning error, not something
+  // to paper over by mutating the live database.
+  const rel::Database& db = system_.node(config_.node).db;
+  for (const rel::RelationSchema& schema : bootstrap.schema) {
+    const rel::Relation* relation = db.FindRelation(schema.name());
+    if (relation == nullptr || !(relation->schema() == schema)) {
+      return Status::InvalidArgument("schema drift on relation '" +
+                                     schema.name() + "'");
+    }
+  }
+  // Rule drift check (validate, do not install: a rule the update plane
+  // legitimately deleted mid-session must not be resurrected by a re-sent
+  // bootstrap — recovery replays such deletions from the WAL).
+  for (const core::CoordinationRule& rule : bootstrap.rules) {
+    auto known = system_.RuleById(rule.id);
+    if (!known.ok() || (*known)->head_node != config_.node) {
+      return Status::InvalidArgument("bootstrap rule '" + rule.id +
+                                     "' is unknown to the system file");
+    }
+  }
+  for (const wire::EndpointEntry& e : bootstrap.endpoints) {
+    if (e.node == config_.node) continue;
+    // Idempotent re-adds are fine; a conflicting remap rejects the
+    // bootstrap (AddRemoteEndpoint refuses and keeps the table intact).
+    P2PDB_RETURN_IF_ERROR(runtime_->AddRemoteEndpoint(
+        e.node, net::TcpRuntime::Endpoint{e.host, e.port}));
+  }
+  return Status::OK();
+}
+
+void PeerDaemon::Reply(NodeId to, net::MessageType type,
+                       std::vector<uint8_t> payload) {
+  net::Message msg;
+  msg.type = type;
+  msg.from = config_.node;
+  msg.to = to;
+  msg.payload = std::move(payload);
+  msg.urgent = true;  // Control traffic never waits on a data-plane batch.
+  runtime_->Send(std::move(msg));
+}
+
+void PeerDaemon::OnMessage(const net::Message& msg) {
+  // Dispatch runs under the runtime's per-peer exclusion, so touching the
+  // peer's engines directly here is exactly as safe as the peer's own
+  // protocol dispatch.
+  switch (msg.type) {
+    case net::MessageType::kBootstrap: {
+      auto bootstrap = wire::SessionBootstrap::Decode(msg.payload);
+      wire::BootstrapAck ack;
+      ack.node = config_.node;
+      ack.name = config_.name;
+      if (!bootstrap.ok()) {
+        ack.epoch = epoch_.load();
+        ack.accepted = false;
+        ack.error = bootstrap.status().ToString();
+      } else {
+        epoch_.store(bootstrap->epoch);
+        ack.epoch = bootstrap->epoch;
+        Status applied = ApplyBootstrap(*bootstrap);
+        ack.accepted = applied.ok();
+        if (!applied.ok()) ack.error = applied.ToString();
+      }
+      if (!ack.accepted) {
+        P2PDB_LOG(kWarn) << "rejecting bootstrap: " << ack.error;
+      }
+      Reply(msg.from, net::MessageType::kBootstrapAck, ack.Encode());
+      return;
+    }
+    case net::MessageType::kStartDiscovery:
+      peer_->StartDiscovery();
+      return;
+    case net::MessageType::kStartUpdate: {
+      auto start = wire::ControlStartUpdate::Decode(msg.payload);
+      if (!start.ok()) {
+        P2PDB_LOG(kWarn) << "bad kStartUpdate payload: "
+                         << start.status().ToString();
+        return;
+      }
+      peer_->StartUpdate(start->session);
+      return;
+    }
+    case net::MessageType::kRefreshScc:
+      peer_->update().RefreshScc();
+      return;
+    case net::MessageType::kStatusRequest: {
+      wire::StatusReport report;
+      report.epoch = epoch_.load();
+      report.node = config_.node;
+      report.name = config_.name;
+      report.state_discovery =
+          static_cast<uint8_t>(peer_->discovery().state());
+      report.state_update = static_cast<uint8_t>(peer_->update().state());
+      report.tuples = peer_->db().TotalTuples();
+      const core::UpdateEngine::Stats& stats = peer_->update().stats();
+      report.tuples_inserted = stats.tuples_inserted;
+      report.joins_evaluated = stats.joins_evaluated;
+      report.answers_sent = stats.answers_sent;
+      report.token_passes = stats.token_passes;
+      report.reopens = stats.reopens;
+      Reply(msg.from, net::MessageType::kStatusReport, report.Encode());
+      return;
+    }
+    case net::MessageType::kDumpRequest: {
+      wire::DumpReply reply;
+      reply.epoch = epoch_.load();
+      reply.node = config_.node;
+      reply.database = rel::SerializeDatabase(peer_->db());
+      Reply(msg.from, net::MessageType::kDumpReply, reply.Encode());
+      return;
+    }
+    case net::MessageType::kShutdown:
+      P2PDB_LOG(kInfo) << "node " << config_.node
+                       << ": shutdown requested by node " << msg.from;
+      stop_.store(true);
+      return;
+    default:
+      peer_->OnMessage(msg);
+      return;
+  }
+}
+
+}  // namespace p2pdb::daemon

@@ -1,0 +1,82 @@
+// PeerDaemon: one peer as one OS process. Wraps a core::Peer built from a
+// PeerdConfig (via core::PeerBootstrap — the same construction path the
+// in-process Session uses), registers ITSELF as the runtime handler for the
+// peer's node id, and intercepts the control-plane message types
+// (src/core/control.h) a fleet controller drives it with; everything else is
+// forwarded untouched to the peer's normal protocol dispatch. The config
+// file is authoritative for identity, endpoint, schema and rules — a wire
+// bootstrap is validated against it (and applies the endpoint table), so the
+// two provisioning paths cannot silently disagree.
+//
+// Startup picks fresh-vs-recover by looking at the data directory: no
+// checkpoint yet means first boot (seed the durable base from the system
+// file's initial database), an existing checkpoint means this process is a
+// re-exec of a crashed daemon and the peer recovers from checkpoint + WAL
+// before the listener accepts a single frame.
+#ifndef P2PDB_DAEMON_PEER_DAEMON_H_
+#define P2PDB_DAEMON_PEER_DAEMON_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "src/core/peer.h"
+#include "src/core/system.h"
+#include "src/daemon/config.h"
+#include "src/net/tcp_runtime.h"
+#include "src/util/status.h"
+
+namespace p2pdb::daemon {
+
+class PeerDaemon : public net::PeerHandler {
+ public:
+  /// Builds the full stack: parse the system file, open (and maybe recover
+  /// from) storage, bind the configured listen endpoint, install the
+  /// config's endpoint table, and write the pid file. On return the peer is
+  /// registered and serving.
+  static Result<std::unique_ptr<PeerDaemon>> Start(PeerdConfig config);
+
+  ~PeerDaemon() override;
+
+  /// Blocks until a kShutdown control frame (or RequestStop) arrives,
+  /// keeping the runtime's delivery machinery running. On exit writes the
+  /// obs_json dump (when configured) and removes the pid file.
+  Status Serve();
+
+  /// Signal-safe stop request (SIGTERM/SIGINT handlers call this).
+  void RequestStop() { stop_.store(true); }
+  bool stopping() const { return stop_.load(); }
+
+  // net::PeerHandler: control plane here, protocol to the peer.
+  void OnMessage(const net::Message& msg) override;
+
+  core::Peer& peer() { return *peer_; }
+  net::TcpRuntime& runtime() { return *runtime_; }
+  const PeerdConfig& config() const { return config_; }
+  /// True when this boot recovered from an existing checkpoint (re-exec).
+  bool recovered() const { return recovered_; }
+
+ private:
+  PeerDaemon(PeerdConfig config, core::P2PSystem system);
+
+  /// Validates a decoded bootstrap against the config/system file and
+  /// applies its endpoint table. Returns the rejection reason, or OK.
+  Status ApplyBootstrap(const core::wire::SessionBootstrap& bootstrap);
+
+  /// Sends one urgent control reply back to `to`.
+  void Reply(NodeId to, net::MessageType type, std::vector<uint8_t> payload);
+
+  PeerdConfig config_;
+  core::P2PSystem system_;
+  std::unique_ptr<net::TcpRuntime> runtime_;
+  std::unique_ptr<core::Peer> peer_;
+  std::atomic<bool> stop_{false};
+  bool recovered_ = false;
+  /// Last controller epoch seen, echoed into replies so a driver can discard
+  /// replies provoked by an earlier incarnation of itself.
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace p2pdb::daemon
+
+#endif  // P2PDB_DAEMON_PEER_DAEMON_H_

@@ -36,6 +36,26 @@ const char* MessageTypeName(MessageType type) {
       return "Batch";
     case MessageType::kCredit:
       return "Credit";
+    case MessageType::kBootstrap:
+      return "Bootstrap";
+    case MessageType::kBootstrapAck:
+      return "BootstrapAck";
+    case MessageType::kStartDiscovery:
+      return "StartDiscovery";
+    case MessageType::kStartUpdate:
+      return "StartUpdate";
+    case MessageType::kRefreshScc:
+      return "RefreshScc";
+    case MessageType::kStatusRequest:
+      return "StatusRequest";
+    case MessageType::kStatusReport:
+      return "StatusReport";
+    case MessageType::kDumpRequest:
+      return "DumpRequest";
+    case MessageType::kDumpReply:
+      return "DumpReply";
+    case MessageType::kShutdown:
+      return "Shutdown";
   }
   return "Unknown";
 }
@@ -57,6 +77,16 @@ bool IsKnownMessageType(uint8_t raw) {
     case MessageType::kDeleteRule:
     case MessageType::kBatch:
     case MessageType::kCredit:
+    case MessageType::kBootstrap:
+    case MessageType::kBootstrapAck:
+    case MessageType::kStartDiscovery:
+    case MessageType::kStartUpdate:
+    case MessageType::kRefreshScc:
+    case MessageType::kStatusRequest:
+    case MessageType::kStatusReport:
+    case MessageType::kDumpRequest:
+    case MessageType::kDumpReply:
+    case MessageType::kShutdown:
       return true;
   }
   return false;

@@ -40,6 +40,21 @@ enum class MessageType : uint8_t {
   // count back to the sender, making TcpRuntime quiescence exact.
   kBatch = 40,
   kCredit = 41,
+  // Wire control plane (src/core/control.h): how a fleet controller drives
+  // remote peer processes the way an in-process Session drives local ones —
+  // session bootstrap handshake, phase starts, statistics polling, database
+  // dumps for convergence checks, and graceful shutdown. Handled by the
+  // daemon layer (src/daemon) wrapping a peer, never by the Peer itself.
+  kBootstrap = 50,
+  kBootstrapAck = 51,
+  kStartDiscovery = 52,
+  kStartUpdate = 53,
+  kRefreshScc = 54,
+  kStatusRequest = 55,
+  kStatusReport = 56,
+  kDumpRequest = 57,
+  kDumpReply = 58,
+  kShutdown = 59,
 };
 
 const char* MessageTypeName(MessageType type);

@@ -200,10 +200,11 @@ void Reactor::NoteQueued(Connection* c) {
 
 // --- Listeners and connects -------------------------------------------------
 
-Result<uint16_t> Reactor::Listen(const std::string& host, uint64_t token) {
+Result<uint16_t> Reactor::Listen(const std::string& host, uint64_t token,
+                                 uint16_t port) {
   if (stop_.load()) return Status::Internal("reactor is stopped");
   sockaddr_in addr;
-  if (!ParseAddr(host, 0, &addr)) {
+  if (!ParseAddr(host, port, &addr)) {
     return Status::InvalidArgument("bad listen host " + host);
   }
   int fd = MakeSocket();

@@ -138,10 +138,13 @@ class Reactor {
   Reactor(Options options, Handler* handler);
   ~Reactor();
 
-  /// Opens a nonblocking listener on host:0 (kernel-assigned port) and
-  /// registers it under `token`; accepted connections inherit the token and
-  /// are owned by the listener's worker. Returns the bound port.
-  Result<uint16_t> Listen(const std::string& host, uint64_t token);
+  /// Opens a nonblocking listener on host:port (port 0 = kernel-assigned)
+  /// and registers it under `token`; accepted connections inherit the token
+  /// and are owned by the listener's worker. Returns the bound port. A fixed
+  /// port lets a config file own the address: a re-exec'd daemon rebinds the
+  /// same endpoint, so remote tables stay valid across the restart.
+  Result<uint16_t> Listen(const std::string& host, uint64_t token,
+                          uint16_t port = 0);
 
   /// Closes the listener registered under `token` (if any) and every live
   /// connection carrying that token — inbound and outbound alike. Blocks

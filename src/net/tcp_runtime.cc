@@ -244,9 +244,22 @@ void TcpRuntime::TransmitFrame(NodeId to, std::vector<uint8_t> frame,
                    << " message(s) to node " << to;
 }
 
-void TcpRuntime::AddRemoteEndpoint(NodeId id, Endpoint endpoint) {
+Status TcpRuntime::AddRemoteEndpoint(NodeId id, Endpoint endpoint) {
   std::lock_guard<std::mutex> lock(net_mutex_);
+  auto it = endpoints_.find(id);
+  if (it != endpoints_.end()) {
+    if (it->second.host == endpoint.host && it->second.port == endpoint.port) {
+      return Status::OK();  // Idempotent re-add (a re-applied table).
+    }
+    P2PDB_LOG(kWarn) << "endpoint conflict for node " << id << ": have "
+                     << it->second.ToString() << ", refusing remap to "
+                     << endpoint.ToString();
+    return Status::AlreadyExists(
+        "node " + std::to_string(id) + " is already mapped to " +
+        it->second.ToString() + "; refusing remap to " + endpoint.ToString());
+  }
   endpoints_[id] = std::move(endpoint);
+  return Status::OK();
 }
 
 TcpRuntime::Endpoint TcpRuntime::EndpointOf(NodeId id) const {
@@ -288,7 +301,8 @@ Status TcpRuntime::OpenListener(NodeId id) {
       return Status::OK();
     }
   }
-  Result<uint16_t> port = reactor_->Listen(options_.host, id);
+  Result<uint16_t> port =
+      reactor_->Listen(options_.host, id, options_.listen_port);
   if (!port.ok()) return port.status();
   std::lock_guard<std::mutex> lock(net_mutex_);
   listen_ports_[id] = *port;

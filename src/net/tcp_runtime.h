@@ -56,6 +56,12 @@ class TcpRuntime : public MailboxRuntime, private Reactor::Handler {
     std::chrono::microseconds quiet_window{0};
     /// Address listeners bind to (and the host recorded for local peers).
     std::string host = "127.0.0.1";
+    /// Fixed listening port; 0 (the default) lets the kernel pick. A daemon
+    /// whose config file owns its endpoint binds the configured port so the
+    /// rest of the fleet's endpoint tables survive its re-exec. Only
+    /// meaningful for single-peer runtimes (p2pdb_peerd): with several local
+    /// peers, all but the first listener would collide.
+    uint16_t listen_port = 0;
     /// Reactor worker (event-loop) threads; 0 = hardware concurrency.
     int io_workers = 0;
     /// Per-connection send-queue bound; senders to a slow receiver block
@@ -97,8 +103,12 @@ class TcpRuntime : public MailboxRuntime, private Reactor::Handler {
 
   // --- Endpoint table ---
 
-  /// Routes sends for a peer hosted by another runtime/process.
-  void AddRemoteEndpoint(NodeId id, Endpoint endpoint);
+  /// Routes sends for a peer hosted by another runtime/process. Re-adding
+  /// the exact endpoint already on file is an idempotent no-op (a re-applied
+  /// bootstrap table), but a DIFFERENT endpoint for a known node is rejected
+  /// with kAlreadyExists and the table is left unchanged — a silent remap
+  /// would quietly redirect a live node's traffic on a typo'd config.
+  Status AddRemoteEndpoint(NodeId id, Endpoint endpoint);
 
   /// The endpoint a send to `id` would use; port 0 when unknown.
   Endpoint EndpointOf(NodeId id) const;

@@ -60,6 +60,11 @@ class Storage {
   /// replay always has the schemas and seed data to apply deltas onto.
   virtual Status EnsureBase(const rel::Database& db) = 0;
 
+  /// True when a durable base state already exists — how a booting daemon
+  /// decides between a fresh start (seed the base from its system file) and
+  /// recovery (a re-exec'd process reopening the directory it crashed with).
+  virtual bool HasBase() const { return false; }
+
   /// Gives the implementation a chance to checkpoint `db` (and truncate the
   /// log); called after every applied delta.
   virtual Status MaybeCheckpoint(const rel::Database& db) = 0;

@@ -135,6 +135,8 @@ Status StorageManager::EnsureBase(const rel::Database& db) {
   return Checkpoint(db);
 }
 
+bool StorageManager::HasBase() const { return CheckpointExists(options_.dir); }
+
 Status StorageManager::MaybeCheckpoint(const rel::Database& db) {
   if (wal_->size_bytes() >= options_.checkpoint_wal_bytes) {
     return Checkpoint(db);

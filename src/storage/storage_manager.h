@@ -64,6 +64,7 @@ class StorageManager : public Storage {
   Status LogRuleChange(const std::vector<uint8_t>& record) override;
   Status ResetRuleChanges(std::vector<std::vector<uint8_t>> records) override;
   Status EnsureBase(const rel::Database& db) override;
+  bool HasBase() const override;
   Status MaybeCheckpoint(const rel::Database& db) override;
   Status Checkpoint(const rel::Database& db) override;
   Result<rel::Database> Recover(RecoveryInfo* info) override;

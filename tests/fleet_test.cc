@@ -1,0 +1,291 @@
+// Cross-process fleet integration: forks real p2pdb_peerd processes, drives
+// them over the wire control plane (src/core/control.h) with a
+// FleetController, kill -9s a non-super-peer mid-propagation, re-execs it
+// from the same config file (fixed port, WAL recovery), and checks that the
+// fleet's databases converge to the same global fixpoint as an in-process
+// run of the same system — the acceptance path of the deployment story.
+//
+// The ctest registration passes --peerd $<TARGET_FILE:p2pdb_peerd>; running
+// the binary by hand works with the P2PDB_PEERD environment variable. The
+// process tests are skipped when neither is available.
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/session.h"
+#include "src/daemon/config.h"
+#include "src/daemon/fleet.h"
+#include "src/lang/printer.h"
+#include "src/net/sim_runtime.h"
+#include "src/relational/null_iso.h"
+#include "src/workload/scenario.h"
+
+namespace p2pdb::daemon {
+namespace {
+
+std::string g_peerd_path;  // Set by main() from --peerd or P2PDB_PEERD.
+
+std::string FreshRoot(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/p2pdb_fleet_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+Status WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot write " + path);
+  out << text;
+  return Status::OK();
+}
+
+/// Forks one p2pdb_peerd on `config_path`, stdout+stderr into `log_path`.
+pid_t SpawnPeerd(const std::string& config_path,
+                 const std::string& log_path) {
+  pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  if (std::freopen(log_path.c_str(), "w", stdout) == nullptr) _exit(126);
+  if (::dup2(::fileno(stdout), ::fileno(stderr)) < 0) _exit(126);
+  ::execl(g_peerd_path.c_str(), g_peerd_path.c_str(), "--config",
+          config_path.c_str(), static_cast<char*>(nullptr));
+  _exit(127);
+}
+
+/// The daemon writes its pid file only after its listener is bound and the
+/// endpoint table is installed, so "pid file holds `pid`" doubles as the
+/// readiness barrier for both first boots and re-execs.
+bool AwaitPidFile(const std::string& path, pid_t pid,
+                  std::chrono::seconds timeout = std::chrono::seconds(20)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(path);
+    pid_t got = -1;
+    if (in >> got && got == pid) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+/// Reaps `pid`, polling so a hung daemon cannot hang the test.
+bool AwaitExit(pid_t pid, int* exit_status,
+               std::chrono::seconds timeout = std::chrono::seconds(20)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    int status = 0;
+    pid_t got = ::waitpid(pid, &status, WNOHANG);
+    if (got == pid) {
+      *exit_status = status;
+      return true;
+    }
+    if (got < 0) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+TEST(PeerdConfigTest, RoundTripsThroughToString) {
+  PeerdConfig config;
+  config.node = 2;
+  config.name = "C";
+  config.listen = {"127.0.0.1", 7102};
+  config.system_file = "/tmp/fleet.p2p";
+  config.data_dir = "/tmp/peer2";
+  config.pid_file = "/tmp/peer2.pid";
+  config.obs_json = "/tmp/peer2.obs.json";
+  config.super_peer = 1;
+  config.no_sync = true;
+  config.peers = {{0, "127.0.0.1", 7100},
+                  {1, "127.0.0.1", 7101},
+                  {2, "127.0.0.1", 7102}};
+
+  auto parsed = PeerdConfig::Parse(config.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->node, config.node);
+  EXPECT_EQ(parsed->name, config.name);
+  EXPECT_EQ(parsed->listen.host, config.listen.host);
+  EXPECT_EQ(parsed->listen.port, config.listen.port);
+  EXPECT_EQ(parsed->system_file, config.system_file);
+  EXPECT_EQ(parsed->data_dir, config.data_dir);
+  EXPECT_EQ(parsed->pid_file, config.pid_file);
+  EXPECT_EQ(parsed->obs_json, config.obs_json);
+  EXPECT_EQ(parsed->super_peer, config.super_peer);
+  EXPECT_EQ(parsed->no_sync, config.no_sync);
+  EXPECT_EQ(parsed->peers, config.peers);
+}
+
+TEST(PeerdConfigTest, RejectsMalformedFiles) {
+  // Missing required keys.
+  EXPECT_FALSE(PeerdConfig::Parse("node 0\nname A\n").ok());
+  // Bad node id, bad endpoint, trailing garbage, unknown key: each rejected
+  // with the offending line number in the message.
+  auto bad_id = PeerdConfig::Parse(
+      "node x\nname A\nlisten 127.0.0.1:1\nsystem s.p2p\n");
+  ASSERT_FALSE(bad_id.ok());
+  EXPECT_NE(bad_id.status().message().find("line 1"), std::string::npos);
+  EXPECT_FALSE(PeerdConfig::Parse(
+                   "node 0\nname A\nlisten nonsense\nsystem s.p2p\n")
+                   .ok());
+  EXPECT_FALSE(PeerdConfig::Parse(
+                   "node 0 extra\nname A\nlisten 127.0.0.1:1\nsystem s\n")
+                   .ok());
+  EXPECT_FALSE(PeerdConfig::Parse(
+                   "node 0\nname A\nlisten 127.0.0.1:1\nsystem s\nwat 1\n")
+                   .ok());
+}
+
+TEST(FleetHelpersTest, PickFreePortsReturnsDistinctPorts) {
+  auto ports = PickFreePorts("127.0.0.1", 8);
+  ASSERT_TRUE(ports.ok()) << ports.status().ToString();
+  ASSERT_EQ(ports->size(), 8u);
+  std::set<uint16_t> distinct(ports->begin(), ports->end());
+  EXPECT_EQ(distinct.size(), 8u);
+  for (uint16_t port : *ports) EXPECT_GT(port, 0);
+}
+
+// The acceptance path: 4 peerd processes converge to the in-process
+// fixpoint, survive kill -9 of a non-super-peer mid-propagation, and
+// re-converge after the victim is re-exec'ed from the same config file.
+TEST(FleetTest, FleetConvergesAndSurvivesKillNineReExec) {
+  if (g_peerd_path.empty()) {
+    GTEST_SKIP() << "p2pdb_peerd path not provided (--peerd or P2PDB_PEERD)";
+  }
+  const std::string root = FreshRoot("kill9");
+
+  workload::ScenarioOptions scenario;
+  scenario.topology.kind = workload::TopologySpec::Kind::kTree;
+  scenario.topology.nodes = 4;
+  scenario.records_per_node = 150;
+  scenario.link_overlap_prob = 0.5;
+  auto system = workload::BuildScenario(scenario);
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+
+  const std::string system_file = root + "/fleet.p2p";
+  ASSERT_TRUE(WriteFile(system_file, lang::PrintSystem(*system)).ok());
+
+  auto ports = PickFreePorts("127.0.0.1", system->node_count());
+  ASSERT_TRUE(ports.ok()) << ports.status().ToString();
+  auto configs = MakeFleetConfigs(*system, system_file, root, "127.0.0.1",
+                                  *ports, /*super_peer=*/0,
+                                  /*no_sync=*/true);
+  ASSERT_TRUE(configs.ok()) << configs.status().ToString();
+
+  std::vector<std::string> config_paths;
+  std::vector<pid_t> pids;
+  for (const PeerdConfig& cfg : *configs) {
+    const std::string path =
+        root + "/peer" + std::to_string(cfg.node) + ".conf";
+    ASSERT_TRUE(WriteFile(path, cfg.ToString()).ok());
+    config_paths.push_back(path);
+    pids.push_back(SpawnPeerd(path, root + "/peer" +
+                                        std::to_string(cfg.node) + ".log"));
+    ASSERT_GT(pids.back(), 0);
+  }
+  for (NodeId n = 0; n < system->node_count(); ++n) {
+    ASSERT_TRUE(AwaitPidFile((*configs)[n].pid_file, pids[n]))
+        << "peer " << n << " never became ready";
+  }
+
+  FleetController::Options options;
+  options.timeout = std::chrono::seconds(60);
+  std::vector<core::wire::EndpointEntry> table = (*configs)[0].peers;
+  auto controller =
+      FleetController::Connect(*system, table, /*super_peer=*/0, options);
+  ASSERT_TRUE(controller.ok()) << controller.status().ToString();
+  const std::vector<NodeId> all = (*controller)->AllNodes();
+
+  ASSERT_TRUE((*controller)->Bootstrap(all).ok());
+  ASSERT_TRUE((*controller)->StartDiscovery(all).ok());
+  ASSERT_TRUE((*controller)->AwaitDiscoveryClosed(all).ok());
+
+  // Start the global update and kill a non-super-peer immediately: SIGKILL,
+  // no shutdown path, in-flight frames die with its sockets.
+  ASSERT_TRUE((*controller)->StartUpdate(1).ok());
+  const NodeId victim = 1;
+  ASSERT_EQ(::kill(pids[victim], SIGKILL), 0);
+  int status = 0;
+  ASSERT_TRUE(AwaitExit(pids[victim], &status));
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+  // Survivors drain: statistics stop changing (no closed-state requirement —
+  // peers blocked on the dead victim legitimately stay open).
+  std::vector<NodeId> survivors;
+  for (NodeId n : all) {
+    if (n != victim) survivors.push_back(n);
+  }
+  ASSERT_TRUE((*controller)->AwaitStable(survivors).ok());
+
+  // Re-exec from the SAME config file: same node id, same fixed port (the
+  // other daemons' endpoint tables stay valid), recovery from checkpoint +
+  // WAL before the listener accepts a frame.
+  pids[victim] = SpawnPeerd(config_paths[victim],
+                            root + "/peer1.reexec.log");
+  ASSERT_GT(pids[victim], 0);
+  ASSERT_TRUE(AwaitPidFile((*configs)[victim].pid_file, pids[victim]))
+      << "re-exec'ed peer never became ready";
+
+  // Rejoin: re-bootstrap the fresh process (installs the controller's reply
+  // route), re-run discovery everywhere, refresh SCC views behind a status
+  // barrier, then drive a fresh update session — monotone set-union
+  // semantics make the second session idempotent on the survivors.
+  ASSERT_TRUE((*controller)->Bootstrap({victim}).ok());
+  ASSERT_TRUE((*controller)->StartDiscovery(all).ok());
+  ASSERT_TRUE((*controller)->AwaitDiscoveryClosed(all).ok());
+  ASSERT_TRUE((*controller)->RefreshScc(all).ok());
+  ASSERT_TRUE((*controller)->StartUpdate(2).ok());
+  std::vector<core::wire::StatusReport> reports;
+  ASSERT_TRUE((*controller)->AwaitUpdateFixpoint(all, &reports).ok());
+  ASSERT_EQ(reports.size(), all.size());
+
+  // Parity oracle: the same system run in one process on the deterministic
+  // simulator. Every fleet database must match up to null renaming.
+  net::SimRuntime sim;
+  core::Session oracle(*system, &sim);
+  ASSERT_TRUE(oracle.RunDiscovery().ok());
+  ASSERT_TRUE(oracle.RunUpdate().ok());
+  const std::vector<rel::Database> expected = oracle.SnapshotDatabases();
+  for (NodeId n : all) {
+    auto dump = (*controller)->Dump(n);
+    ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+    EXPECT_TRUE(rel::DatabasesIsomorphic(*dump, expected[n]))
+        << "node " << n << " diverged from the in-process fixpoint";
+  }
+
+  // Graceful teardown: every daemon (including the re-exec'ed victim) exits
+  // cleanly on the kShutdown control frame.
+  ASSERT_TRUE((*controller)->SendShutdown(all).ok());
+  for (NodeId n : all) {
+    ASSERT_TRUE(AwaitExit(pids[n], &status)) << "peer " << n << " hung";
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "peer " << n << " exited abnormally";
+  }
+}
+
+}  // namespace
+}  // namespace p2pdb::daemon
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (const char* env = std::getenv("P2PDB_PEERD")) {
+    p2pdb::daemon::g_peerd_path = env;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--peerd" && i + 1 < argc) {
+      p2pdb::daemon::g_peerd_path = argv[i + 1];
+    }
+  }
+  return RUN_ALL_TESTS();
+}

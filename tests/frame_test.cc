@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/control.h"
 #include "src/util/crc32.h"
+#include "src/workload/scenario.h"
 
 namespace p2pdb::net {
 namespace {
@@ -467,6 +469,132 @@ TEST(CreditFrameTest, FramesDecodedCountsWireFramesNotMessages) {
                   .ok());
   EXPECT_EQ(sinks, 5);  // 1 plain + 3 unpacked + 1 credit view.
   EXPECT_EQ(assembler.frames_decoded(), 3u);
+}
+
+// --- Control-plane handshake codec (src/core/control.h) -------------------
+
+/// A realistic bootstrap built from the Section-2 running example: real
+/// schemas, real coordination rules headed at the bootstrapped node, a full
+/// endpoint table plus the controller's own row.
+core::wire::SessionBootstrap MakeBootstrap() {
+  auto system = p2pdb::workload::MakeRunningExample();
+  EXPECT_TRUE(system.ok());
+  const NodeId node = system->rules().front().head_node;
+  core::wire::SessionBootstrap b;
+  b.epoch = 7;
+  b.node = node;
+  b.name = system->node(node).name;
+  b.super_peer = 0;
+  for (const auto& [name, relation] : system->node(node).db.relations()) {
+    (void)name;
+    b.schema.push_back(relation.schema());
+  }
+  for (const core::CoordinationRule* rule : system->RulesWithHead(node)) {
+    b.rules.push_back(*rule);
+  }
+  for (NodeId n = 0; n < system->node_count(); ++n) {
+    b.endpoints.push_back({n, "127.0.0.1", static_cast<uint16_t>(7100 + n)});
+  }
+  b.endpoints.push_back(
+      {static_cast<NodeId>(system->node_count()), "127.0.0.1", 39999});
+  return b;
+}
+
+TEST(ControlCodecTest, SessionBootstrapRoundTrips) {
+  core::wire::SessionBootstrap b = MakeBootstrap();
+  ASSERT_FALSE(b.schema.empty());
+  ASSERT_FALSE(b.rules.empty());
+  auto decoded = core::wire::SessionBootstrap::Decode(b.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->epoch, b.epoch);
+  EXPECT_EQ(decoded->node, b.node);
+  EXPECT_EQ(decoded->name, b.name);
+  EXPECT_EQ(decoded->super_peer, b.super_peer);
+  ASSERT_EQ(decoded->schema.size(), b.schema.size());
+  for (size_t i = 0; i < b.schema.size(); ++i) {
+    EXPECT_TRUE(decoded->schema[i] == b.schema[i]);
+  }
+  ASSERT_EQ(decoded->rules.size(), b.rules.size());
+  for (size_t i = 0; i < b.rules.size(); ++i) {
+    // CoordinationRule has no operator==; the printable form is canonical.
+    EXPECT_EQ(decoded->rules[i].ToString(), b.rules[i].ToString());
+  }
+  EXPECT_EQ(decoded->endpoints, b.endpoints);
+}
+
+TEST(ControlCodecTest, MalformedBootstrapIsRejected) {
+  core::wire::SessionBootstrap b = MakeBootstrap();
+  std::vector<uint8_t> good = b.Encode();
+
+  // Trailing bytes: decoded whole or not at all.
+  std::vector<uint8_t> trailing = good;
+  trailing.push_back(0);
+  EXPECT_FALSE(core::wire::SessionBootstrap::Decode(trailing).ok());
+
+  // Any truncation fails (no prefix of a bootstrap is a bootstrap).
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    std::vector<uint8_t> prefix(good.begin(), good.begin() + cut);
+    EXPECT_FALSE(core::wire::SessionBootstrap::Decode(prefix).ok())
+        << "prefix of " << cut << " bytes decoded";
+  }
+
+  // A rule headed at a different node than the bootstrapped one is a
+  // provisioning error the codec itself rejects.
+  core::wire::SessionBootstrap wrong = MakeBootstrap();
+  wrong.rules.front().head_node = wrong.node + 1;
+  auto decoded = core::wire::SessionBootstrap::Decode(wrong.Encode());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("not headed"), std::string::npos);
+}
+
+TEST(ControlCodecTest, AckStatusAndDumpRoundTrip) {
+  core::wire::BootstrapAck ack;
+  ack.epoch = 9;
+  ack.node = 3;
+  ack.name = "D";
+  ack.accepted = false;
+  ack.error = "schema drift on relation 'd'";
+  auto ack2 = core::wire::BootstrapAck::Decode(ack.Encode());
+  ASSERT_TRUE(ack2.ok());
+  EXPECT_EQ(ack2->epoch, ack.epoch);
+  EXPECT_EQ(ack2->node, ack.node);
+  EXPECT_EQ(ack2->name, ack.name);
+  EXPECT_EQ(ack2->accepted, ack.accepted);
+  EXPECT_EQ(ack2->error, ack.error);
+
+  core::wire::StatusReport report;
+  report.epoch = 2;
+  report.node = 1;
+  report.name = "B";
+  report.state_discovery = 2;
+  report.state_update = 1;
+  report.tuples = 12345;
+  report.tuples_inserted = 678;
+  report.joins_evaluated = 90;
+  report.answers_sent = 11;
+  report.token_passes = 4;
+  report.reopens = 1;
+  auto report2 = core::wire::StatusReport::Decode(report.Encode());
+  ASSERT_TRUE(report2.ok());
+  EXPECT_TRUE(*report2 == report);
+  report2->tuples += 1;  // operator== is field-exact (fixpoint probe).
+  EXPECT_FALSE(*report2 == report);
+
+  core::wire::ControlStartUpdate start;
+  start.epoch = 5;
+  start.session = 42;
+  auto start2 = core::wire::ControlStartUpdate::Decode(start.Encode());
+  ASSERT_TRUE(start2.ok());
+  EXPECT_EQ(start2->epoch, start.epoch);
+  EXPECT_EQ(start2->session, start.session);
+
+  core::wire::DumpReply dump;
+  dump.epoch = 5;
+  dump.node = 2;
+  dump.database = {0xde, 0xad, 0xbe, 0xef};
+  auto dump2 = core::wire::DumpReply::Decode(dump.Encode());
+  ASSERT_TRUE(dump2.ok());
+  EXPECT_EQ(dump2->database, dump.database);
 }
 
 }  // namespace

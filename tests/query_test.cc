@@ -212,16 +212,18 @@ TEST(QueryPlaneTest, RestartedPeerPublishesRecoveredSnapshot) {
   auto system = workload::MakeRunningExample();
   ASSERT_TRUE(system.ok());
   net::SimRuntime rt;
-  Session session(*system, &rt);
+  std::string root = FreshRoot("restart");
+  Session::Options options;
+  options.storage = DirProvider(root);
+  Session session(*system, &rt, options);
   ASSERT_TRUE(session.RunDiscovery().ok());
 
   auto victim = system->NodeByName("B");
   ASSERT_TRUE(victim.ok());
   ChurnScript churn = {ChurnEvent::Crash(3'000, *victim),
                        ChurnEvent::Restart(9'000, *victim)};
-  std::string root = FreshRoot("restart");
   ScopedLogCapture quiet;
-  ASSERT_TRUE(session.RunUpdateWithChurn(churn, DirProvider(root)).ok());
+  ASSERT_TRUE(session.RunUpdateWithChurn(churn).ok());
   ASSERT_TRUE(session.AllClosed());
 
   // After checkpoint + WAL replay and re-convergence, the published
@@ -284,7 +286,10 @@ TEST(QueryPlaneTest, ConcurrentReadsDuringChurnedTcpUpdate) {
   ASSERT_TRUE(system.ok());
 
   net::TcpRuntime rt;
-  Session session(*system, &rt);
+  std::string root = FreshRoot("tsan_churn");
+  Session::Options session_options;
+  session_options.storage = DirProvider(root);
+  Session session(*system, &rt, session_options);
   ASSERT_TRUE(session.RunDiscovery().ok());
 
   workload::QueryWorkloadOptions wl;
@@ -298,7 +303,6 @@ TEST(QueryPlaneTest, ConcurrentReadsDuringChurnedTcpUpdate) {
   plan.downtime_micros = 6'000;
   auto churn = workload::PlanCrashRestart(*system, /*super_peer=*/0, plan);
   ASSERT_TRUE(churn.ok()) << churn.status().ToString();
-  std::string root = FreshRoot("tsan_churn");
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> served{0};
@@ -338,7 +342,7 @@ TEST(QueryPlaneTest, ConcurrentReadsDuringChurnedTcpUpdate) {
   readers.emplace_back(reader, ops->size() / 2);
 
   ScopedLogCapture quiet;
-  Status update = session.RunUpdateWithChurn(*churn, DirProvider(root));
+  Status update = session.RunUpdateWithChurn(*churn);
   stop.store(true);
   for (std::thread& t : readers) t.join();
 

@@ -38,6 +38,14 @@ Session::StorageProvider DirProvider(const std::string& root) {
   };
 }
 
+/// Session options wired to per-node data directories under `root`: crash
+/// and restart reopen the same directory through Options::storage.
+Session::Options DurableOptions(const std::string& root) {
+  Session::Options options;
+  options.storage = DirProvider(root);
+  return options;
+}
+
 /// Runs discovery + one full update with no churn and returns the final
 /// per-node databases.
 std::vector<rel::Database> BaselineRun(const P2PSystem& system) {
@@ -58,12 +66,11 @@ TEST(RecoveryTest, CrashedPeerRecoversItsExactPreCrashDatabase) {
   auto victim = system->NodeByName("B");
   ASSERT_TRUE(victim.ok());
   std::string root = FreshRoot("exact");
-  Session::StorageProvider provider = DirProvider(root);
 
   net::SimRuntime rt;
-  Session session(*system, &rt);
+  Session session(*system, &rt, DurableOptions(root));
   ASSERT_TRUE(session.RunDiscovery().ok());
-  ASSERT_TRUE(session.AttachStorage(*victim, provider(*victim)).ok());
+  ASSERT_TRUE(session.AttachStorage(*victim).ok());
 
   session.peer(0).StartUpdate(77);
   ASSERT_TRUE(rt.RunUntil(rt.NowMicros() + 3'000).ok());
@@ -75,7 +82,7 @@ TEST(RecoveryTest, CrashedPeerRecoversItsExactPreCrashDatabase) {
   EXPECT_FALSE(session.IsAlive(*victim));
   ASSERT_TRUE(rt.Run().ok());  // Drain; deliveries to the victim are lost.
 
-  ASSERT_TRUE(session.RestartPeer(*victim, provider(*victim)).ok());
+  ASSERT_TRUE(session.RestartPeer(*victim).ok());
   ASSERT_TRUE(session.IsAlive(*victim));
   EXPECT_TRUE(session.peer(*victim).db() == pre_crash);
 
@@ -95,7 +102,7 @@ TEST(RecoveryTest, RunningExampleChurnReachesNeverCrashedFixpoint) {
 
   std::string root = FreshRoot("running_example");
   net::SimRuntime rt;
-  Session session(*system, &rt);
+  Session session(*system, &rt, DurableOptions(root));
   ASSERT_TRUE(session.RunDiscovery().ok());
 
   auto victim = system->NodeByName("B");
@@ -103,7 +110,7 @@ TEST(RecoveryTest, RunningExampleChurnReachesNeverCrashedFixpoint) {
   ChurnScript churn = {ChurnEvent::Crash(3'000, *victim),
                        ChurnEvent::Restart(9'000, *victim)};
   ScopedLogCapture quiet;
-  ASSERT_TRUE(session.RunUpdateWithChurn(churn, DirProvider(root)).ok());
+  ASSERT_TRUE(session.RunUpdateWithChurn(churn).ok());
   ASSERT_TRUE(session.AllClosed());
 
   for (size_t n = 0; n < session.peer_count(); ++n) {
@@ -135,10 +142,10 @@ TEST(RecoveryTest, GeneratedScenarioWithNullsSurvivesMultiPeerChurn) {
 
   std::string root = FreshRoot("generated");
   net::SimRuntime rt;
-  Session session(*system, &rt);
+  Session session(*system, &rt, DurableOptions(root));
   ASSERT_TRUE(session.RunDiscovery().ok());
   ScopedLogCapture quiet;
-  ASSERT_TRUE(session.RunUpdateWithChurn(*churn, DirProvider(root)).ok());
+  ASSERT_TRUE(session.RunUpdateWithChurn(*churn).ok());
   ASSERT_TRUE(session.AllClosed());
 
   for (size_t n = 0; n < session.peer_count(); ++n) {
@@ -164,10 +171,10 @@ TEST(RecoveryTest, ChurnMatchesGlobalFixpointBaseline) {
 
   std::string root = FreshRoot("global_baseline");
   net::SimRuntime rt;
-  Session session(*system, &rt);
+  Session session(*system, &rt, DurableOptions(root));
   ASSERT_TRUE(session.RunDiscovery().ok());
   ScopedLogCapture quiet;
-  ASSERT_TRUE(session.RunUpdateWithChurn(*churn, DirProvider(root)).ok());
+  ASSERT_TRUE(session.RunUpdateWithChurn(*churn).ok());
   ASSERT_TRUE(session.AllClosed());
 
   auto global = ComputeGlobalFixpoint(*system, rel::ChaseOptions{});
@@ -193,20 +200,19 @@ TEST(RecoveryTest, CrashAfterCompletionRejoinsWithoutRingLivelock) {
   std::vector<rel::Database> baseline = BaselineRun(*system);
 
   std::string root = FreshRoot("post_completion");
-  Session::StorageProvider provider = DirProvider(root);
   net::SimRuntime rt;
-  Session session(*system, &rt);
+  Session session(*system, &rt, DurableOptions(root));
   ASSERT_TRUE(session.RunDiscovery().ok());
 
   auto victim = system->NodeByName("B");
   ASSERT_TRUE(victim.ok());
-  ASSERT_TRUE(session.AttachStorage(*victim, provider(*victim)).ok());
+  ASSERT_TRUE(session.AttachStorage(*victim).ok());
   ASSERT_TRUE(session.RunUpdate().ok());
   ASSERT_TRUE(session.AllClosed());  // Crash only after full completion.
 
   ScopedLogCapture quiet;
   ASSERT_TRUE(session.CrashPeer(*victim).ok());
-  ASSERT_TRUE(session.RestartPeer(*victim, provider(*victim)).ok());
+  ASSERT_TRUE(session.RestartPeer(*victim).ok());
   ASSERT_TRUE(session.Rediscover().ok());  // A ring livelock would hang here.
   ASSERT_TRUE(session.RunUpdate().ok());
   EXPECT_TRUE(session.AllClosed());
@@ -231,11 +237,10 @@ rule r1: B.b(X) => A.a(X);
   NodeId head = *system->NodeByName("A");
 
   std::string root = FreshRoot("rules");
-  Session::StorageProvider provider = DirProvider(root);
   net::SimRuntime rt;
-  Session session(*system, &rt);
+  Session session(*system, &rt, DurableOptions(root));
   ASSERT_TRUE(session.RunDiscovery().ok());
-  ASSERT_TRUE(session.AttachStorage(head, provider(head)).ok());
+  ASSERT_TRUE(session.AttachStorage(head).ok());
 
   // addLink r2 (A additionally pulls from D), then deleteLink r1, both
   // arriving while the update session runs.
@@ -265,7 +270,7 @@ rule r1: B.b(X) => A.a(X);
   ScopedLogCapture quiet;
   ASSERT_TRUE(session.CrashPeer(head).ok());
   ASSERT_TRUE(rt.Run().ok());
-  ASSERT_TRUE(session.RestartPeer(head, provider(head)).ok());
+  ASSERT_TRUE(session.RestartPeer(head).ok());
 
   // The initial rule set would be {r1}; the WAL replay must re-apply the add
   // of r2 and the delete of r1.
@@ -287,7 +292,7 @@ rule r1: B.b(X) => A.a(X);
 
   // A second crash/restart cycle replays the compacted history identically.
   ASSERT_TRUE(session.CrashPeer(head).ok());
-  ASSERT_TRUE(session.RestartPeer(head, provider(head)).ok());
+  ASSERT_TRUE(session.RestartPeer(head).ok());
   ASSERT_EQ(session.peer(head).rules().size(), 1u);
   EXPECT_EQ(session.peer(head).rules()[0].id, "r2");
 
@@ -302,13 +307,19 @@ TEST(RecoveryTest, RestartWithoutPriorCrashIsRejected) {
   auto system = workload::MakeRunningExample();
   ASSERT_TRUE(system.ok());
   net::SimRuntime rt;
-  Session session(*system, &rt);
   std::string root = FreshRoot("guards");
-  EXPECT_FALSE(session.RestartPeer(1, DirProvider(root)(1)).ok());
+  Session session(*system, &rt, DurableOptions(root));
+  EXPECT_FALSE(session.RestartPeer(1).ok());
   EXPECT_FALSE(session.CrashPeer(99).ok());
 
   ChurnScript bad = {ChurnEvent::Restart(1'000, 1)};
-  EXPECT_FALSE(session.RunUpdateWithChurn(bad, DirProvider(root)).ok());
+  EXPECT_FALSE(session.RunUpdateWithChurn(bad).ok());
+
+  // A purely volatile session (no Options::storage) cannot attach or
+  // restart at all.
+  net::SimRuntime volatile_rt;
+  Session volatile_session(*system, &volatile_rt);
+  EXPECT_FALSE(volatile_session.AttachStorage(1).ok());
 }
 
 TEST(RecoveryTest, ZeroDowntimePlanKeepsCrashBeforeRestart) {

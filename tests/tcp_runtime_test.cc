@@ -151,8 +151,8 @@ TEST(TcpRuntimeTest, TwoRuntimesExchangeViaRemoteEndpoints) {
   CountingPeer a(0, &rt_a, 0), b(1, &rt_b, 1);
   rt_a.RegisterPeer(0, &a);
   rt_b.RegisterPeer(1, &b);
-  rt_a.AddRemoteEndpoint(1, {"127.0.0.1", rt_b.ListenPort(1)});
-  rt_b.AddRemoteEndpoint(0, {"127.0.0.1", rt_a.ListenPort(0)});
+  ASSERT_TRUE(rt_a.AddRemoteEndpoint(1, {"127.0.0.1", rt_b.ListenPort(1)}).ok());
+  ASSERT_TRUE(rt_b.AddRemoteEndpoint(0, {"127.0.0.1", rt_a.ListenPort(0)}).ok());
 
   rt_a.Send(Make(0, 1));
   ASSERT_TRUE(rt_a.Run().ok());
@@ -164,6 +164,48 @@ TEST(TcpRuntimeTest, TwoRuntimesExchangeViaRemoteEndpoints) {
   }
   EXPECT_EQ(b.received(), 1);
   EXPECT_EQ(a.received(), 1);  // The reply crossed back.
+}
+
+TEST(TcpRuntimeTest, RemoteEndpointConflictIsRejected) {
+  ScopedLogCapture quiet;  // The rejected remap logs a warning.
+  TcpRuntime rt;
+  ASSERT_TRUE(rt.AddRemoteEndpoint(7, {"127.0.0.1", 9001}).ok());
+  // Identical re-add (a re-applied bootstrap table) is idempotent.
+  EXPECT_TRUE(rt.AddRemoteEndpoint(7, {"127.0.0.1", 9001}).ok());
+  // A different endpoint for a known node must not silently remap it.
+  Status conflict = rt.AddRemoteEndpoint(7, {"127.0.0.1", 9002});
+  EXPECT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(rt.EndpointOf(7).port, 9001);  // Table unchanged.
+
+  // The same guard protects a local listening peer's row.
+  CountingPeer a(0, &rt, 0);
+  rt.RegisterPeer(0, &a);
+  ASSERT_NE(rt.ListenPort(0), 0);
+  EXPECT_FALSE(rt.AddRemoteEndpoint(0, {"127.0.0.1", 9003}).ok());
+  EXPECT_EQ(rt.EndpointOf(0).port, rt.ListenPort(0));
+}
+
+TEST(TcpRuntimeTest, FixedListenPortBindsConfiguredEndpoint) {
+  // A config-file-owned endpoint: pick a free port the way the fleet config
+  // generator does (bind :0, note the port, release it), then ask the
+  // runtime to bind exactly that port.
+  uint16_t port = 0;
+  {
+    TcpRuntime probe;
+    CountingPeer tmp(0, &probe, 0);
+    probe.RegisterPeer(0, &tmp);
+    port = probe.ListenPort(0);
+    probe.UnregisterPeer(0);
+  }
+  ASSERT_NE(port, 0);
+  TcpRuntime::Options options;
+  options.listen_port = port;
+  TcpRuntime rt(options);
+  CountingPeer a(0, &rt, 0);
+  rt.RegisterPeer(0, &a);
+  EXPECT_EQ(rt.ListenPort(0), port);
+  ASSERT_TRUE(rt.PeerReady(0).ok());
 }
 
 TEST(TcpRuntimeTest, EndpointParseAndTable) {
@@ -437,7 +479,9 @@ TEST(TcpRuntimeTest, ChurnScriptWithSocketCloseCrashes) {
 
   std::string root = FreshRoot("churn");
   TcpRuntime rt;
-  core::Session session(*system, &rt);
+  core::Session::Options session_options;
+  session_options.storage = DirProvider(root);
+  core::Session session(*system, &rt, session_options);
   ASSERT_TRUE(session.RunDiscovery().ok());
 
   auto victim = system->NodeByName("B");
@@ -449,7 +493,7 @@ TEST(TcpRuntimeTest, ChurnScriptWithSocketCloseCrashes) {
       core::ChurnEvent::Crash(now + 5'000, *victim),
       core::ChurnEvent::Restart(now + 100'000, *victim)};
   ScopedLogCapture quiet;  // Kernel-refused deliveries are expected.
-  ASSERT_TRUE(session.RunUpdateWithChurn(churn, DirProvider(root)).ok());
+  ASSERT_TRUE(session.RunUpdateWithChurn(churn).ok());
   ASSERT_TRUE(session.AllClosed());
 
   for (size_t n = 0; n < session.peer_count(); ++n) {
@@ -472,7 +516,9 @@ TEST(TcpRuntimeTest, MultiPeerChurnOnGeneratedScenario) {
 
   std::string root = FreshRoot("multi");
   TcpRuntime rt;
-  core::Session session(*system, &rt);
+  core::Session::Options session_options;
+  session_options.storage = DirProvider(root);
+  core::Session session(*system, &rt, session_options);
   ASSERT_TRUE(session.RunDiscovery().ok());
 
   uint64_t now = rt.NowMicros();
@@ -481,7 +527,7 @@ TEST(TcpRuntimeTest, MultiPeerChurnOnGeneratedScenario) {
                              core::ChurnEvent::Restart(now + 80'000, 2),
                              core::ChurnEvent::Restart(now + 90'000, 5)};
   ScopedLogCapture quiet;
-  ASSERT_TRUE(session.RunUpdateWithChurn(churn, DirProvider(root)).ok());
+  ASSERT_TRUE(session.RunUpdateWithChurn(churn).ok());
   ASSERT_TRUE(session.AllClosed());
 
   for (size_t n = 0; n < session.peer_count(); ++n) {
